@@ -1,0 +1,130 @@
+// Micro-benchmarks (google-benchmark) of the numerical kernels the
+// experiment harnesses are built on: matmul, training steps, GP fit/predict,
+// bootstrap CIs, Mann–Whitney, out-of-bootstrap splitting.
+#include <benchmark/benchmark.h>
+
+#include "src/varbench.h"
+
+namespace {
+
+using namespace varbench;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  math::Matrix a{n, n};
+  math::Matrix b{n, n};
+  rngx::Rng rng{1};
+  for (double& v : a.data()) v = rng.normal();
+  for (double& v : b.data()) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TrainEpoch(benchmark::State& state) {
+  ml::GaussianMixtureConfig dcfg;
+  dcfg.num_classes = 10;
+  dcfg.dim = 32;
+  dcfg.n = static_cast<std::size_t>(state.range(0));
+  rngx::Rng rng{2};
+  const auto data = ml::make_gaussian_mixture(dcfg, rng);
+  ml::TrainConfig cfg;
+  cfg.model.hidden = {24};
+  cfg.epochs = 1;
+  cfg.batch_size = 32;
+  const rngx::VariationSeeds seeds;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::train_mlp(data, cfg, seeds));
+  }
+  state.SetItemsProcessed(state.iterations() * dcfg.n);
+}
+BENCHMARK(BM_TrainEpoch)->Arg(500)->Arg(2000);
+
+void BM_GpFitPredict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rngx::Rng rng{3};
+  math::Matrix x{n, 4};
+  std::vector<double> y(n);
+  for (double& v : x.data()) v = rng.uniform();
+  for (double& v : y) v = rng.normal();
+  const std::vector<double> q{0.5, 0.5, 0.5, 0.5};
+  for (auto _ : state) {
+    hpo::GaussianProcess gp;
+    gp.fit(x, y);
+    benchmark::DoNotOptimize(gp.predict(q));
+  }
+}
+BENCHMARK(BM_GpFitPredict)->Arg(25)->Arg(100)->Arg(200);
+
+void BM_PercentileBootstrapCi(benchmark::State& state) {
+  rngx::Rng data_rng{4};
+  std::vector<double> x(static_cast<std::size_t>(state.range(0)));
+  for (double& v : x) v = data_rng.normal();
+  rngx::Rng rng{5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::percentile_bootstrap_ci(
+        x, [](std::span<const double> s) { return stats::mean(s); }, rng,
+        1000));
+  }
+}
+BENCHMARK(BM_PercentileBootstrapCi)->Arg(30)->Arg(100);
+
+void BM_MannWhitney(benchmark::State& state) {
+  rngx::Rng rng{6};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (double& v : a) v = rng.normal(0.1, 1.0);
+  for (double& v : b) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::mann_whitney_u(a, b));
+  }
+}
+BENCHMARK(BM_MannWhitney)->Arg(50)->Arg(1000);
+
+void BM_ProbOutperformTest(benchmark::State& state) {
+  rngx::Rng data_rng{7};
+  std::vector<double> a(50);
+  std::vector<double> b(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    a[i] = data_rng.normal(0.5, 1.0);
+    b[i] = data_rng.normal();
+  }
+  rngx::Rng rng{8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::test_probability_of_outperforming(a, b, rng, 0.75, 1000));
+  }
+}
+BENCHMARK(BM_ProbOutperformTest);
+
+void BM_OutOfBootstrapSplit(benchmark::State& state) {
+  ml::GaussianMixtureConfig dcfg;
+  dcfg.num_classes = 10;
+  dcfg.dim = 8;
+  dcfg.n = static_cast<std::size_t>(state.range(0));
+  rngx::Rng gen{9};
+  const auto pool = ml::make_gaussian_mixture(dcfg, gen);
+  const core::OutOfBootstrapSplitter splitter{0, 0, true};
+  rngx::Rng rng{10};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(splitter.split(pool, rng));
+  }
+}
+BENCHMARK(BM_OutOfBootstrapSplit)->Arg(1000)->Arg(10000);
+
+void BM_ShapiroWilk(benchmark::State& state) {
+  rngx::Rng rng{11};
+  std::vector<double> x(static_cast<std::size_t>(state.range(0)));
+  for (double& v : x) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::shapiro_wilk(x));
+  }
+}
+BENCHMARK(BM_ShapiroWilk)->Arg(50)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

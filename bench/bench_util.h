@@ -1,0 +1,54 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every bench binary prints the rows/series of one table or figure from
+// "Accounting for Variance in Machine Learning Benchmarks" (MLSys 2021).
+// Scale knobs (environment variables):
+//   VARBENCH_SCALE   data-pool / epoch scale in (0, 1]   (default 0.3)
+//   VARBENCH_REPS    repetitions per measurement          (bench-specific)
+//   VARBENCH_FULL=1  paper-faithful sizes (slow; hours)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace varbench::benchutil {
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atof(v);
+}
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long parsed = std::atol(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+inline bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && std::string(v) != "0" && std::string(v) != "";
+}
+
+inline double scale() {
+  if (env_flag("VARBENCH_FULL")) return 1.0;
+  const double s = env_double("VARBENCH_SCALE", 0.3);
+  return s > 0.0 && s <= 1.0 ? s : 0.3;
+}
+
+inline void header(const char* experiment, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("  paper claim: %s\n", claim);
+  std::printf("  (scale=%.2f; set VARBENCH_SCALE / VARBENCH_FULL=1 to change)\n",
+              scale());
+  std::printf("================================================================\n");
+}
+
+inline void section(const char* title) {
+  std::printf("\n--- %s ---\n", title);
+}
+
+}  // namespace varbench::benchutil

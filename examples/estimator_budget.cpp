@@ -1,0 +1,50 @@
+// Choose a performance-estimation strategy for a fixed compute budget:
+// contrast IdealEst(k) with FixHOptEst(k, Init/Data/All) on a real case
+// study, reporting fit counts and the spread of the resulting estimates.
+//
+// Usage: estimator_budget [case_study_id] [k] [hpo_budget] [scale]
+#include <cstdio>
+#include <string>
+
+#include "src/varbench.h"
+
+int main(int argc, char** argv) {
+  using namespace varbench;
+  const std::string task = argc > 1 ? argv[1] : "glue_sst2_bert";
+  const std::size_t k = argc > 2 ? std::atoi(argv[2]) : 8;
+  const std::size_t budget = argc > 3 ? std::atoi(argv[3]) : 10;
+  const double scale = argc > 4 ? std::atof(argv[4]) : 0.25;
+
+  const auto cs = casestudies::make_case_study(task, scale);
+  const hpo::RandomSearch algo;
+  core::HpoRunConfig cfg;
+  cfg.algorithm = &algo;
+  cfg.budget = budget;
+
+  std::printf("estimator budget comparison — %s, k=%zu, T=%zu\n", task.c_str(),
+              k, budget);
+  std::printf("\n%-22s %8s %10s %10s\n", "estimator", "fits", "mean", "std");
+
+  rngx::Rng master{123};
+  const auto ideal =
+      core::ideal_estimator(*cs.pipeline, *cs.pool, *cs.splitter, cfg, k,
+                            master);
+  std::printf("%-22s %8zu %10.4f %10.4f\n", "IdealEst", ideal.fits, ideal.mean,
+              ideal.stddev);
+  for (const auto subset :
+       {core::RandomizeSubset::kInit, core::RandomizeSubset::kData,
+        core::RandomizeSubset::kAll}) {
+    const auto r = core::fix_hopt_estimator(*cs.pipeline, *cs.pool,
+                                            *cs.splitter, cfg, k, subset,
+                                            master);
+    std::printf("FixHOptEst(%-4s)       %8zu %10.4f %10.4f\n",
+                std::string(core::to_string(subset)).c_str(), r.fits, r.mean,
+                r.stddev);
+  }
+  std::printf(
+      "\nTakeaway (paper §3.3): if you cannot afford IdealEst's %zu fits,\n"
+      "use FixHOptEst(k, All) — same cost as the common practice of\n"
+      "re-seeding only the weights, but a markedly better estimator.\n",
+      core::ideal_estimator_cost(k, budget));
+  return 0;
+}

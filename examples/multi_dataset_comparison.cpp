@@ -1,0 +1,61 @@
+// Compare two algorithms across all five case studies (paper §6): run
+// paired measurements per dataset, then apply Wilcoxon-across-datasets
+// (Demšar) and per-dataset replicability counting (Dror et al.).
+//
+// Usage: multi_dataset_comparison [runs_per_dataset] [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/varbench.h"
+
+int main(int argc, char** argv) {
+  using namespace varbench;
+  const std::size_t runs = argc > 1 ? std::atoi(argv[1]) : 12;
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.2;
+
+  std::printf("two algorithms across 5 datasets, %zu paired runs each\n",
+              runs);
+  std::vector<double> mean_a;
+  std::vector<double> mean_b;
+  std::vector<double> pvals;
+
+  for (const auto& id : casestudies::case_study_ids()) {
+    const auto cs = casestudies::make_case_study(id, scale);
+    auto params_a = cs.pipeline->default_params();
+    auto params_b = params_a;
+    if (params_b.count("learning_rate") != 0) {
+      params_b["learning_rate"] *= 0.1;  // algorithm B: under-tuned lr
+    } else {
+      params_b["weight_decay"] = 0.5;
+    }
+    rngx::Rng master{rngx::derive_seed(0xE6, id)};
+    std::vector<double> a;
+    std::vector<double> b;
+    for (std::size_t r = 0; r < runs; ++r) {
+      const auto seeds = rngx::VariationSeeds::random(master);
+      a.push_back(core::measure_with_params(*cs.pipeline, *cs.pool,
+                                            *cs.splitter, params_a, seeds));
+      b.push_back(core::measure_with_params(*cs.pipeline, *cs.pool,
+                                            *cs.splitter, params_b, seeds));
+    }
+    mean_a.push_back(stats::mean(a));
+    mean_b.push_back(stats::mean(b));
+    pvals.push_back(stats::wilcoxon_signed_rank(a, b).p_value);
+    std::printf("  %-18s A=%.4f  B=%.4f  wilcoxon p=%.4f\n", id.c_str(),
+                mean_a.back(), mean_b.back(), pvals.back());
+  }
+
+  std::printf("\nDemsar: Wilcoxon signed-rank ACROSS datasets:\n");
+  const auto across = stats::wilcoxon_across_datasets(mean_a, mean_b);
+  std::printf("  W = %.1f, p = %.4f  (only %zu datasets: low power, as the\n"
+              "  paper warns for typical 3-5 dataset studies)\n",
+              across.statistic, across.p_value, mean_a.size());
+
+  std::printf("\nDror et al.: per-dataset replicability counting:\n");
+  const auto rep = stats::replicability_analysis(pvals, 0.05);
+  std::printf("  significant on %zu/%zu datasets (Bonferroni-corrected); "
+              "improves on all: %s\n",
+              rep.significant_count, rep.dataset_count,
+              rep.improves_on_all ? "YES" : "no");
+  return 0;
+}

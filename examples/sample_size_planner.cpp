@@ -1,0 +1,41 @@
+// Plan the number of paired benchmark runs needed before launching an
+// experiment, using Noether's sample-size formula for the P(A>B) test.
+//
+// Usage: sample_size_planner [gamma] [alpha] [beta]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/varbench.h"
+
+int main(int argc, char** argv) {
+  using namespace varbench;
+  const double gamma = argc > 1 ? std::atof(argv[1]) : 0.75;
+  const double alpha = argc > 2 ? std::atof(argv[2]) : 0.05;
+  const double beta = argc > 3 ? std::atof(argv[3]) : 0.05;
+
+  const std::size_t n = stats::noether_sample_size(gamma, alpha, beta);
+  std::printf(
+      "To detect P(A>B) >= %.2f with false-positive rate %.0f%% and\n"
+      "false-negative rate %.0f%%, run each algorithm N = %zu times\n"
+      "(paired: same data splits and seeds for A and B in each run).\n",
+      gamma, 100.0 * alpha, 100.0 * beta, n);
+
+  std::printf("\nPower you would get at other run counts:\n");
+  std::printf("  %-8s %10s\n", "N", "power");
+  for (const std::size_t k : {5u, 10u, 15u, 20u, 29u, 40u, 60u, 100u}) {
+    std::printf("  %-8zu %9.1f%%\n", k,
+                100.0 * stats::noether_power(k, gamma, alpha));
+  }
+
+  std::printf("\nSample sizes at other thresholds (alpha=%.2f, beta=%.2f):\n",
+              alpha, beta);
+  std::printf("  %-8s %10s\n", "gamma", "N");
+  for (const double g : {0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9}) {
+    std::printf("  %-8.2f %10zu\n", g,
+                stats::noether_sample_size(g, alpha, beta));
+  }
+  std::printf(
+      "\nThe paper recommends gamma = 0.75: strong enough to be meaningful,\n"
+      "cheap enough to verify (N = 29 at alpha = beta = 0.05).\n");
+  return 0;
+}

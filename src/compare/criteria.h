@@ -1,0 +1,100 @@
+// The comparison criteria studied in §4: single-point comparison, average
+// comparison thresholded at δ, and the paper's recommended probability-of-
+// outperforming test — plus the oracle upper bound used in Fig. 6.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "src/rngx/rng.h"
+#include "src/stats/prob_outperform.h"
+
+namespace varbench::compare {
+
+/// A decision rule: given paired performance measurements of A and B,
+/// does the benchmark conclude "A outperforms B"?
+class ComparisonCriterion {
+ public:
+  virtual ~ComparisonCriterion() = default;
+  ComparisonCriterion() = default;
+  ComparisonCriterion(const ComparisonCriterion&) = delete;
+  ComparisonCriterion& operator=(const ComparisonCriterion&) = delete;
+
+  /// `a`, `b` are paired measurements (same split/seed per index).
+  /// `rng` feeds any internal resampling (bootstrap CIs).
+  [[nodiscard]] virtual bool detects(std::span<const double> a,
+                                     std::span<const double> b,
+                                     rngx::Rng& rng) const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// One run of each pipeline; A wins when a₁ − b₁ > δ. The weakest criterion
+/// of Fig. 6 (high false positives AND high false negatives).
+class SinglePointComparison final : public ComparisonCriterion {
+ public:
+  explicit SinglePointComparison(double delta) : delta_{delta} {}
+  [[nodiscard]] bool detects(std::span<const double> a,
+                             std::span<const double> b,
+                             rngx::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override {
+    return "single_point";
+  }
+
+ private:
+  double delta_;
+};
+
+/// The prevalent practice: mean over k runs, A wins when the average
+/// difference exceeds δ (δ typically calibrated to published improvements).
+class AverageComparison final : public ComparisonCriterion {
+ public:
+  explicit AverageComparison(double delta) : delta_{delta} {}
+  [[nodiscard]] bool detects(std::span<const double> a,
+                             std::span<const double> b,
+                             rngx::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override { return "average"; }
+
+ private:
+  double delta_;
+};
+
+/// The paper's recommendation: detect when P(A>B) is both statistically
+/// significant (CI_min > 0.5) and meaningful (CI_max > γ).
+class ProbOutperformCriterion final : public ComparisonCriterion {
+ public:
+  explicit ProbOutperformCriterion(double gamma = stats::kDefaultGamma,
+                                   std::size_t resamples = 200,
+                                   double alpha = 0.05)
+      : gamma_{gamma}, resamples_{resamples}, alpha_{alpha} {}
+  [[nodiscard]] bool detects(std::span<const double> a,
+                             std::span<const double> b,
+                             rngx::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override {
+    return "prob_outperforming";
+  }
+
+ private:
+  double gamma_;
+  std::size_t resamples_;
+  double alpha_;
+};
+
+/// Upper bound: a one-sided z-test on the mean difference with the TRUE
+/// per-measurement variance known (perfect knowledge of the noise) — the
+/// "optimal oracle" curve of Fig. 6.
+class OracleComparison final : public ComparisonCriterion {
+ public:
+  OracleComparison(double true_sigma, double alpha = 0.05)
+      : sigma_{true_sigma}, alpha_{alpha} {}
+  [[nodiscard]] bool detects(std::span<const double> a,
+                             std::span<const double> b,
+                             rngx::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override { return "oracle"; }
+
+ private:
+  double sigma_;
+  double alpha_;
+};
+
+}  // namespace varbench::compare

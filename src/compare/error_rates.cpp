@@ -1,0 +1,59 @@
+#include "src/compare/error_rates.h"
+
+#include <stdexcept>
+
+namespace varbench::compare {
+
+DetectionCurves characterize_detection_rates(
+    const TaskVarianceProfile& profile, EstimatorKind estimator,
+    std::span<const std::unique_ptr<ComparisonCriterion>> criteria,
+    const DetectionRateConfig& config, rngx::Rng& rng) {
+  if (criteria.empty()) {
+    throw std::invalid_argument("characterize_detection_rates: no criteria");
+  }
+  DetectionCurves curves;
+  curves.p_grid = config.p_grid;
+  if (curves.p_grid.empty()) {
+    for (double p = 0.4; p <= 1.0 - 1e-9; p += 0.05) curves.p_grid.push_back(p);
+    curves.p_grid.push_back(0.99);  // probe near-certain improvements too
+  }
+  for (const auto& c : criteria) {
+    curves.rates[std::string{c->name()}] =
+        std::vector<double>(curves.p_grid.size(), 0.0);
+  }
+
+  const double sigma_single = estimator == EstimatorKind::kIdeal
+                                  ? profile.sigma_ideal
+                                  : profile.sigma_biased_total();
+  for (std::size_t gi = 0; gi < curves.p_grid.size(); ++gi) {
+    const double p_true = curves.p_grid[gi];
+    const double offset = mean_offset_for_probability(p_true, sigma_single);
+    for (std::size_t s = 0; s < config.simulations; ++s) {
+      const auto a =
+          simulate_measures(profile, estimator, offset, config.k, rng);
+      const auto b = simulate_measures(profile, estimator, 0.0, config.k, rng);
+      for (const auto& c : criteria) {
+        if (c->detects(a, b, rng)) {
+          curves.rates[std::string{c->name()}][gi] += 1.0;
+        }
+      }
+    }
+  }
+  for (auto& [name, rate] : curves.rates) {
+    (void)name;
+    for (double& r : rate) r /= static_cast<double>(config.simulations);
+  }
+  return curves;
+}
+
+TruthRegion classify_region(double p, double gamma) {
+  if (p <= 0.5) return TruthRegion::kH0;
+  if (p <= gamma) return TruthRegion::kIntermediate;
+  return TruthRegion::kH1;
+}
+
+double published_improvement_delta(double sigma) {
+  return kPublishedImprovementCoeff * sigma;
+}
+
+}  // namespace varbench::compare

@@ -1,0 +1,45 @@
+// Detection-rate characterization of comparison criteria (Fig. 6, Fig. I.6):
+// sweep the true P(A>B), simulate estimator realizations, and measure how
+// often each criterion concludes "A outperforms B".
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/compare/criteria.h"
+#include "src/compare/simulation.h"
+
+namespace varbench::compare {
+
+struct DetectionRateConfig {
+  std::size_t k = 50;             // measurements per algorithm per simulation
+  std::size_t simulations = 100;  // simulation rounds per grid point
+  double gamma = 0.75;            // the H1 threshold
+  std::vector<double> p_grid;     // true P(A>B) values; empty → 0.4..1.0
+};
+
+struct DetectionCurves {
+  std::vector<double> p_grid;
+  // criterion name → detection rate (in [0,1]) at each grid point.
+  std::map<std::string, std::vector<double>> rates;
+};
+
+/// Run the Fig. 6 experiment for one task profile and one estimator kind.
+/// Criteria are evaluated on THE SAME simulated samples at each round, so
+/// curves are directly comparable.
+[[nodiscard]] DetectionCurves characterize_detection_rates(
+    const TaskVarianceProfile& profile, EstimatorKind estimator,
+    std::span<const std::unique_ptr<ComparisonCriterion>> criteria,
+    const DetectionRateConfig& config, rngx::Rng& rng);
+
+/// The three x-axis regions of Fig. 6 for a true probability p.
+enum class TruthRegion : int { kH0, kIntermediate, kH1 };
+[[nodiscard]] TruthRegion classify_region(double p, double gamma);
+
+/// δ calibrated to published improvements: δ = coeff·σ with the paper's
+/// regression coefficient 1.9952 (§4.2).
+inline constexpr double kPublishedImprovementCoeff = 1.9952;
+[[nodiscard]] double published_improvement_delta(double sigma);
+
+}  // namespace varbench::compare

@@ -1,0 +1,63 @@
+#include "src/compare/fixed_models.h"
+
+#include <stdexcept>
+
+#include "src/stats/descriptive.h"
+
+namespace varbench::compare {
+
+FixedModelComparison compare_fixed_models(std::span<const double> per_example_a,
+                                          std::span<const double> per_example_b,
+                                          rngx::Rng& rng, double gamma,
+                                          std::size_t num_resamples,
+                                          double alpha) {
+  if (per_example_a.size() != per_example_b.size() || per_example_a.empty()) {
+    throw std::invalid_argument("compare_fixed_models: bad inputs");
+  }
+  FixedModelComparison result;
+  result.mean_a = stats::mean(per_example_a);
+  result.mean_b = stats::mean(per_example_b);
+
+  const std::size_t n = per_example_a.size();
+  std::vector<double> mean_a_boot;
+  std::vector<double> mean_b_boot;
+  mean_a_boot.reserve(num_resamples);
+  mean_b_boot.reserve(num_resamples);
+  double wins = 0.0;
+  std::vector<double> diffs;
+  diffs.reserve(num_resamples);
+  for (std::size_t r = 0; r < num_resamples; ++r) {
+    double sa = 0.0;
+    double sb = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = rng.uniform_index(n);
+      sa += per_example_a[idx];
+      sb += per_example_b[idx];
+    }
+    const double ma = sa / static_cast<double>(n);
+    const double mb = sb / static_cast<double>(n);
+    if (ma > mb) {
+      wins += 1.0;
+    } else if (ma == mb) {
+      wins += 0.5;
+    }
+    diffs.push_back(ma - mb);
+  }
+  result.p_a_greater_b = wins / static_cast<double>(num_resamples);
+  result.ci = {stats::quantile(diffs, alpha / 2.0),
+               stats::quantile(diffs, 1.0 - alpha / 2.0), 1.0 - alpha};
+
+  const bool significant = result.ci.lower > 0.0;
+  const bool meaningful = result.p_a_greater_b >= gamma;
+  if (!significant) {
+    result.conclusion = stats::ComparisonConclusion::kNotSignificant;
+  } else if (!meaningful) {
+    result.conclusion = stats::ComparisonConclusion::kNotMeaningful;
+  } else {
+    result.conclusion =
+        stats::ComparisonConclusion::kSignificantAndMeaningful;
+  }
+  return result;
+}
+
+}  // namespace varbench::compare

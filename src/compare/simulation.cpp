@@ -1,0 +1,47 @@
+#include "src/compare/simulation.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/stats/distributions.h"
+
+namespace varbench::compare {
+
+double TaskVarianceProfile::sigma_biased_total() const {
+  return std::sqrt(sigma_bias * sigma_bias + sigma_within * sigma_within);
+}
+
+std::vector<double> simulate_measures(const TaskVarianceProfile& profile,
+                                      EstimatorKind kind, double mu_offset,
+                                      std::size_t k, rngx::Rng& rng) {
+  if (k == 0) throw std::invalid_argument("simulate_measures: k == 0");
+  std::vector<double> out(k, 0.0);
+  if (kind == EstimatorKind::kIdeal) {
+    for (double& v : out) {
+      v = rng.normal(profile.mu + mu_offset, profile.sigma_ideal);
+    }
+  } else {
+    const double bias = rng.normal(0.0, profile.sigma_bias);
+    for (double& v : out) {
+      v = rng.normal(profile.mu + mu_offset + bias, profile.sigma_within);
+    }
+  }
+  return out;
+}
+
+double mean_offset_for_probability(double p, double sigma) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("mean_offset_for_probability: p outside (0,1)");
+  }
+  return std::numbers::sqrt2 * sigma * stats::normal_quantile(p);
+}
+
+double probability_for_mean_offset(double delta, double sigma) {
+  if (!(sigma > 0.0)) {
+    throw std::invalid_argument("probability_for_mean_offset: sigma <= 0");
+  }
+  return stats::normal_cdf(delta / (std::numbers::sqrt2 * sigma));
+}
+
+}  // namespace varbench::compare

@@ -1,0 +1,44 @@
+// The §4.2 simulation of algorithm performances. Given the variance
+// statistics measured on a case study, realizations of the ideal and biased
+// estimators are sampled analytically:
+//   ideal:  R̂e ~ N(µ, σ²)
+//   biased: Bias ~ N(0, Var(µ̃(k)|ξ)), then R̂e ~ N(µ + Bias, Var(R̂e|ξ))
+// This mirrors exactly the paper's two-stage sampling process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/rngx/rng.h"
+
+namespace varbench::compare {
+
+/// Variance statistics of one case study, as measured in §3.3 (or taken from
+/// the paper). All values are standard deviations in metric units.
+struct TaskVarianceProfile {
+  std::string task;
+  double mu = 0.0;            // mean performance of the reference algorithm
+  double sigma_ideal = 0.0;   // std of R̂e under the ideal estimator
+  double sigma_bias = 0.0;    // std of the biased estimator's bias term
+  double sigma_within = 0.0;  // std of R̂e conditional on ξ (within-HOpt)
+
+  /// Std of a single biased measurement, marginal over the bias term.
+  [[nodiscard]] double sigma_biased_total() const;
+};
+
+enum class EstimatorKind : int { kIdeal, kBiased };
+
+/// Sample k paired performance measures of one algorithm with mean offset
+/// `mu_offset` relative to the profile's µ.
+[[nodiscard]] std::vector<double> simulate_measures(
+    const TaskVarianceProfile& profile, EstimatorKind kind, double mu_offset,
+    std::size_t k, rngx::Rng& rng);
+
+/// Mean offset Δµ that makes the true P(A>B) equal `p` when the difference
+/// of single measurements is N(Δµ, 2σ²): Δµ = √2·σ·Φ⁻¹(p).
+[[nodiscard]] double mean_offset_for_probability(double p, double sigma);
+
+/// Inverse: true P(A>B) implied by a mean offset.
+[[nodiscard]] double probability_for_mean_offset(double delta, double sigma);
+
+}  // namespace varbench::compare

@@ -1,0 +1,115 @@
+#include "src/core/estimators.h"
+
+#include <stdexcept>
+
+#include "src/stats/descriptive.h"
+
+namespace varbench::core {
+
+std::string_view to_string(RandomizeSubset subset) {
+  switch (subset) {
+    case RandomizeSubset::kInit:
+      return "Init";
+    case RandomizeSubset::kData:
+      return "Data";
+    case RandomizeSubset::kAll:
+      return "All";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<rngx::VariationSource> sources_of(RandomizeSubset subset) {
+  switch (subset) {
+    case RandomizeSubset::kInit:
+      return {rngx::VariationSource::kWeightInit};
+    case RandomizeSubset::kData:
+      return {rngx::VariationSource::kDataSplit};
+    case RandomizeSubset::kAll:
+      return {rngx::kLearningSources.begin(), rngx::kLearningSources.end()};
+  }
+  throw std::invalid_argument("sources_of: unknown subset");
+}
+
+EstimatorResult summarize(std::vector<double> measures, std::size_t fits) {
+  EstimatorResult r;
+  r.measures = std::move(measures);
+  r.mean = stats::mean(r.measures);
+  r.stddev = stats::stddev(r.measures);
+  r.fits = fits;
+  return r;
+}
+
+}  // namespace
+
+EstimatorResult ideal_estimator(const LearningPipeline& pipeline,
+                                const ml::Dataset& pool,
+                                const Splitter& splitter,
+                                const HpoRunConfig& hpo, std::size_t k,
+                                rngx::Rng& master) {
+  if (k == 0) throw std::invalid_argument("ideal_estimator: k == 0");
+  FitCounter counter;
+  std::vector<double> measures;
+  measures.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    // Algorithm 1: fresh ξO and ξH every iteration, full HOpt each time.
+    const auto seeds = rngx::VariationSeeds::random(master);
+    measures.push_back(
+        run_pipeline_once(pipeline, pool, splitter, hpo, seeds, &counter));
+  }
+  return summarize(std::move(measures), counter.fits);
+}
+
+EstimatorResult fix_hopt_estimator(const LearningPipeline& pipeline,
+                                   const ml::Dataset& pool,
+                                   const Splitter& splitter,
+                                   const HpoRunConfig& hpo, std::size_t k,
+                                   RandomizeSubset subset,
+                                   rngx::Rng& master) {
+  if (k == 0) throw std::invalid_argument("fix_hopt_estimator: k == 0");
+  FitCounter counter;
+
+  // Algorithm 2, stage 1: one split, one HOpt, fixing λ̂* for all
+  // measurements.
+  auto base_seeds = rngx::VariationSeeds::random(master);
+  auto split_rng = base_seeds.rng_for(rngx::VariationSource::kDataSplit);
+  const Split s = splitter.split(pool, split_rng);
+  const auto [trainvalid, test] = materialize(pool, s);
+  (void)test;
+  const hpo::ParamPoint lambda =
+      run_hpo(pipeline, trainvalid, hpo, base_seeds, &counter);
+
+  // Stage 2: k measurements re-randomizing only the chosen ξO subset.
+  const auto randomized = sources_of(subset);
+  std::vector<double> measures;
+  measures.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto seeds = base_seeds.with_randomized_set(randomized, master);
+    measures.push_back(
+        measure_with_params(pipeline, pool, splitter, lambda, seeds, &counter));
+  }
+  return summarize(std::move(measures), counter.fits);
+}
+
+std::size_t ideal_estimator_cost(std::size_t k, std::size_t t) {
+  return k * (t + 1);
+}
+
+std::size_t fix_hopt_estimator_cost(std::size_t k, std::size_t t) {
+  return k + t;
+}
+
+double biased_estimator_variance(double var_single, double rho,
+                                 std::size_t k) {
+  if (k == 0) throw std::invalid_argument("biased_estimator_variance: k == 0");
+  const auto kd = static_cast<double>(k);
+  return var_single / kd + (kd - 1.0) / kd * rho * var_single;
+}
+
+double biased_estimator_mse(double var_single, double rho, double bias,
+                            std::size_t k) {
+  return biased_estimator_variance(var_single, rho, k) + bias * bias;
+}
+
+}  // namespace varbench::core

@@ -1,0 +1,130 @@
+#include "src/core/splitter.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace varbench::core {
+
+namespace {
+
+std::vector<std::size_t> out_of_bootstrap_rows(std::size_t pool_size,
+                                               std::span<const std::size_t> in_bag) {
+  std::vector<bool> taken(pool_size, false);
+  for (const std::size_t i : in_bag) taken[i] = true;
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    if (!taken[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+Split OutOfBootstrapSplitter::split(const ml::Dataset& pool,
+                                    rngx::Rng& rng) const {
+  if (pool.empty()) throw std::invalid_argument("OOB split: empty pool");
+  Split s;
+  if (stratified_) {
+    if (pool.kind != ml::TaskKind::kClassification) {
+      throw std::invalid_argument("OOB split: stratified needs classification");
+    }
+    const auto by_class = ml::indices_by_class(pool);
+    const std::size_t per_class_train =
+        train_size_ == 0 ? 0 : train_size_ / by_class.size();
+    for (const auto& members : by_class) {
+      if (members.empty()) continue;
+      const std::size_t n_train =
+          per_class_train == 0 ? members.size() : per_class_train;
+      for (std::size_t j = 0; j < n_train; ++j) {
+        s.train.push_back(members[rng.uniform_index(members.size())]);
+      }
+    }
+  } else {
+    const std::size_t n_train = train_size_ == 0 ? pool.size() : train_size_;
+    s.train = rng.sample_with_replacement(pool.size(), n_train);
+  }
+  auto oob = out_of_bootstrap_rows(pool.size(), s.train);
+  if (oob.empty()) {
+    throw std::runtime_error("OOB split: no out-of-bootstrap rows left");
+  }
+  if (test_size_ != 0 && test_size_ < oob.size()) {
+    rng.shuffle(oob);
+    oob.resize(test_size_);
+  }
+  s.test = std::move(oob);
+  return s;
+}
+
+FixedHoldoutSplitter::FixedHoldoutSplitter(double train_ratio)
+    : train_ratio_{train_ratio} {
+  if (!(train_ratio > 0.0 && train_ratio < 1.0)) {
+    throw std::invalid_argument("FixedHoldoutSplitter: ratio outside (0, 1)");
+  }
+}
+
+Split FixedHoldoutSplitter::split(const ml::Dataset& pool,
+                                  rngx::Rng& rng) const {
+  (void)rng;  // deliberately deterministic
+  if (pool.size() < 2) throw std::invalid_argument("fixed split: pool too small");
+  const auto n_train = static_cast<std::size_t>(
+      train_ratio_ * static_cast<double>(pool.size()));
+  Split s;
+  s.train.resize(std::max<std::size_t>(n_train, 1));
+  std::iota(s.train.begin(), s.train.end(), std::size_t{0});
+  for (std::size_t i = s.train.size(); i < pool.size(); ++i) {
+    s.test.push_back(i);
+  }
+  return s;
+}
+
+ShuffleSplitter::ShuffleSplitter(double train_ratio)
+    : train_ratio_{train_ratio} {
+  if (!(train_ratio > 0.0 && train_ratio < 1.0)) {
+    throw std::invalid_argument("ShuffleSplitter: ratio outside (0, 1)");
+  }
+}
+
+Split ShuffleSplitter::split(const ml::Dataset& pool, rngx::Rng& rng) const {
+  if (pool.size() < 2) throw std::invalid_argument("shuffle split: pool too small");
+  std::vector<std::size_t> order(pool.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  const auto n_train = std::max<std::size_t>(
+      1, static_cast<std::size_t>(train_ratio_ *
+                                  static_cast<double>(pool.size())));
+  Split s;
+  s.train.assign(order.begin(), order.begin() + n_train);
+  s.test.assign(order.begin() + n_train, order.end());
+  return s;
+}
+
+std::vector<Split> cross_validation_folds(const ml::Dataset& pool,
+                                          std::size_t k, rngx::Rng& rng) {
+  if (k < 2 || pool.size() < k) {
+    throw std::invalid_argument("cross_validation_folds: bad k");
+  }
+  std::vector<std::size_t> order(pool.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  std::vector<Split> folds(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    const std::size_t lo = f * pool.size() / k;
+    const std::size_t hi = (f + 1) * pool.size() / k;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (i >= lo && i < hi) {
+        folds[f].test.push_back(order[i]);
+      } else {
+        folds[f].train.push_back(order[i]);
+      }
+    }
+  }
+  return folds;
+}
+
+std::pair<ml::Dataset, ml::Dataset> materialize(const ml::Dataset& pool,
+                                                const Split& s) {
+  return {ml::subset(pool, s.train), ml::subset(pool, s.test)};
+}
+
+}  // namespace varbench::core

@@ -1,0 +1,98 @@
+// Data-splitting strategies sp(S): out-of-bootstrap (the paper's
+// recommendation, Appendix B), k-fold cross-validation, and the fixed
+// held-out split the paper argues against.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/ml/dataset.h"
+#include "src/rngx/rng.h"
+
+namespace varbench::core {
+
+/// Index-based split of a dataset pool into train(+valid) and test parts.
+struct Split {
+  std::vector<std::size_t> train;  // S_tv: may contain duplicates (bootstrap)
+  std::vector<std::size_t> test;   // S_o: never overlaps the train *source* rows
+};
+
+class Splitter {
+ public:
+  virtual ~Splitter() = default;
+  Splitter() = default;
+  Splitter(const Splitter&) = delete;
+  Splitter& operator=(const Splitter&) = delete;
+
+  /// Draw one split of `pool`; all randomness comes from `rng`
+  /// (the ξO data-split stream).
+  [[nodiscard]] virtual Split split(const ml::Dataset& pool,
+                                    rngx::Rng& rng) const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Bootstrap the train set (sampling with replacement) and test on the
+/// out-of-bootstrap rows (Efron 1979; Hothorn et al. 2005). Optionally
+/// stratified per class (the CIFAR10 protocol of Appendix D.1).
+class OutOfBootstrapSplitter final : public Splitter {
+ public:
+  /// `train_size` 0 → |pool| samples drawn with replacement.
+  /// `test_size` 0 → all out-of-bootstrap rows.
+  OutOfBootstrapSplitter(std::size_t train_size = 0, std::size_t test_size = 0,
+                         bool stratified = false)
+      : train_size_{train_size}, test_size_{test_size}, stratified_{stratified} {}
+
+  [[nodiscard]] Split split(const ml::Dataset& pool,
+                            rngx::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override {
+    return "out_of_bootstrap";
+  }
+
+ private:
+  std::size_t train_size_;
+  std::size_t test_size_;
+  bool stratified_;
+};
+
+/// The classic fixed held-out split: the first ⌈ratio·n⌉ rows train, the rest
+/// test, independent of `rng`. Models the "same test set for everyone"
+/// design the paper critiques (§3.1).
+class FixedHoldoutSplitter final : public Splitter {
+ public:
+  explicit FixedHoldoutSplitter(double train_ratio = 0.8);
+  [[nodiscard]] Split split(const ml::Dataset& pool,
+                            rngx::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override {
+    return "fixed_holdout";
+  }
+
+ private:
+  double train_ratio_;
+};
+
+/// Random (shuffled) train/test split without replacement.
+class ShuffleSplitter final : public Splitter {
+ public:
+  explicit ShuffleSplitter(double train_ratio = 0.8);
+  [[nodiscard]] Split split(const ml::Dataset& pool,
+                            rngx::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override {
+    return "shuffle_split";
+  }
+
+ private:
+  double train_ratio_;
+};
+
+/// k-fold cross-validation fold list (all folds at once; discussed and
+/// compared against out-of-bootstrap in Appendix B).
+[[nodiscard]] std::vector<Split> cross_validation_folds(const ml::Dataset& pool,
+                                                        std::size_t k,
+                                                        rngx::Rng& rng);
+
+/// Materialize the two datasets of a split.
+[[nodiscard]] std::pair<ml::Dataset, ml::Dataset> materialize(
+    const ml::Dataset& pool, const Split& s);
+
+}  // namespace varbench::core

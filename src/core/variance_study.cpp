@@ -1,0 +1,106 @@
+#include "src/core/variance_study.h"
+
+#include <stdexcept>
+
+#include "src/stats/descriptive.h"
+
+namespace varbench::core {
+
+double VarianceStudyResult::bootstrap_std() const {
+  for (const auto& row : rows) {
+    if (row.source == rngx::VariationSource::kDataSplit) return row.stddev;
+  }
+  throw std::logic_error("bootstrap_std: no data-split row in study");
+}
+
+namespace {
+
+SourceVariance summarize(rngx::VariationSource source, std::string label,
+                         std::vector<double> measures) {
+  SourceVariance row;
+  row.source = source;
+  row.label = std::move(label);
+  row.mean = stats::mean(measures);
+  row.stddev = stats::stddev(measures);
+  row.measures = std::move(measures);
+  return row;
+}
+
+}  // namespace
+
+VarianceStudyResult run_variance_study(const LearningPipeline& pipeline,
+                                       const ml::Dataset& pool,
+                                       const Splitter& splitter,
+                                       const VarianceStudyConfig& config,
+                                       rngx::Rng& master) {
+  if (config.repetitions < 2) {
+    throw std::invalid_argument("run_variance_study: repetitions < 2");
+  }
+  VarianceStudyResult result;
+  const rngx::VariationSeeds base;  // all seeds fixed to defaults
+  const hpo::ParamPoint defaults = pipeline.default_params();
+
+  struct ProbedSource {
+    rngx::VariationSource source;
+    const char* label;
+  };
+  static constexpr ProbedSource kProbes[] = {
+      {rngx::VariationSource::kDataSplit, "Data (bootstrap)"},
+      {rngx::VariationSource::kDataAugment, "Data augment"},
+      {rngx::VariationSource::kDataOrder, "Data order"},
+      {rngx::VariationSource::kWeightInit, "Weights init"},
+      {rngx::VariationSource::kDropout, "Dropout"},
+  };
+
+  for (const auto& probe : kProbes) {
+    std::vector<double> measures;
+    measures.reserve(config.repetitions);
+    for (std::size_t r = 0; r < config.repetitions; ++r) {
+      const auto seeds = base.with_randomized(probe.source, master);
+      measures.push_back(
+          measure_with_params(pipeline, pool, splitter, defaults, seeds));
+    }
+    result.rows.push_back(
+        summarize(probe.source, probe.label, std::move(measures)));
+  }
+
+  if (config.include_numerical_noise) {
+    // All seeds fixed; any remaining fluctuation is "numerical noise".
+    std::vector<double> measures;
+    measures.reserve(config.repetitions);
+    for (std::size_t r = 0; r < config.repetitions; ++r) {
+      measures.push_back(
+          measure_with_params(pipeline, pool, splitter, defaults, base));
+    }
+    result.rows.push_back(summarize(rngx::VariationSource::kNumerical,
+                                    "Numerical noise", std::move(measures)));
+  }
+
+  // ξH probes: independent HOpt runs with all ξO fixed; each run's best λ̂*
+  // is then measured once under the fixed ξO.
+  for (const auto& algo_name : config.hpo_algorithms) {
+    const auto algorithm = hpo::make_hpo_algorithm(algo_name);
+    HpoRunConfig hpo_cfg;
+    hpo_cfg.algorithm = algorithm.get();
+    hpo_cfg.budget = config.hpo_budget;
+    hpo_cfg.validation_fraction = config.validation_fraction;
+    std::vector<double> measures;
+    measures.reserve(config.hpo_repetitions);
+    for (std::size_t r = 0; r < config.hpo_repetitions; ++r) {
+      const auto seeds =
+          base.with_randomized(rngx::VariationSource::kHpo, master);
+      auto split_rng = seeds.rng_for(rngx::VariationSource::kDataSplit);
+      const Split s = splitter.split(pool, split_rng);
+      const auto [trainvalid, test] = materialize(pool, s);
+      const auto lambda = run_hpo(pipeline, trainvalid, hpo_cfg, seeds);
+      measures.push_back(
+          pipeline.train_and_evaluate(trainvalid, test, lambda, seeds));
+    }
+    result.rows.push_back(summarize(rngx::VariationSource::kHpo,
+                                    std::string{algorithm->name()},
+                                    std::move(measures)));
+  }
+  return result;
+}
+
+}  // namespace varbench::core

@@ -1,0 +1,49 @@
+// The §2.2 variance study: measure the performance fluctuation induced by
+// each variation source in isolation, holding every other source fixed —
+// the machinery behind Fig. 1 and the normality study of Fig. G.3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/estimators.h"
+#include "src/core/pipeline.h"
+
+namespace varbench::core {
+
+struct SourceVariance {
+  rngx::VariationSource source = rngx::VariationSource::kDataSplit;
+  std::string label;                // display label ("Data (bootstrap)", …)
+  std::vector<double> measures;     // raw performance measures
+  double stddev = 0.0;
+  double mean = 0.0;
+};
+
+struct VarianceStudyConfig {
+  std::size_t repetitions = 50;  // paper: 200 per source
+  // HPO variance probes (the ξH rows of Fig. 1): per algorithm name,
+  // `hpo_repetitions` independent HOpt runs with everything else fixed.
+  std::vector<std::string> hpo_algorithms;  // e.g. {"random_search", ...}
+  std::size_t hpo_repetitions = 10;         // paper: 20
+  std::size_t hpo_budget = 30;              // paper: 200 trials
+  double validation_fraction = 0.25;
+  bool include_numerical_noise = true;
+};
+
+struct VarianceStudyResult {
+  std::vector<SourceVariance> rows;
+
+  /// The bootstrap (data-split) standard deviation — Fig. 1's normalizer.
+  [[nodiscard]] double bootstrap_std() const;
+};
+
+/// Probe each ξO source (and numerical noise) with default hyperparameters:
+/// for each source, re-randomize only that source `repetitions` times and
+/// record the performance distribution. Then probe each requested HPO
+/// algorithm: re-run HOpt with fresh ξH while ξO stays fixed.
+[[nodiscard]] VarianceStudyResult run_variance_study(
+    const LearningPipeline& pipeline, const ml::Dataset& pool,
+    const Splitter& splitter, const VarianceStudyConfig& config,
+    rngx::Rng& master);
+
+}  // namespace varbench::core

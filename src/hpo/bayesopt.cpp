@@ -1,0 +1,75 @@
+#include "src/hpo/bayesopt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/stats/distributions.h"
+
+namespace varbench::hpo {
+
+double expected_improvement(double mean, double variance, double best,
+                            double xi) {
+  const double sigma = std::sqrt(std::max(variance, 0.0));
+  if (sigma <= 1e-12) return std::max(best - mean - xi, 0.0);
+  const double z = (best - mean - xi) / sigma;
+  return (best - mean - xi) * stats::normal_cdf(z) +
+         sigma * stats::normal_pdf(z);
+}
+
+HpoResult BayesianOptimization::optimize(const SearchSpace& space,
+                                         const Objective& objective,
+                                         std::size_t budget,
+                                         rngx::Rng& rng) const {
+  if (space.empty() || budget == 0) {
+    throw std::invalid_argument("BayesianOptimization: bad inputs");
+  }
+  HpoResult result;
+  auto record = [&](ParamPoint p) {
+    const double obj = objective(p);
+    if (result.trials.empty() || obj < result.best_objective) {
+      result.best = p;
+      result.best_objective = obj;
+    }
+    result.trials.push_back({std::move(p), obj});
+  };
+
+  const std::size_t n_init = std::min(config_.initial_random, budget);
+  for (std::size_t t = 0; t < n_init; ++t) record(space.sample(rng));
+
+  const std::size_t d = space.size();
+  while (result.trials.size() < budget) {
+    // Fit the surrogate on everything seen so far (unit-cube inputs).
+    const std::size_t n = result.trials.size();
+    math::Matrix x{n, d};
+    std::vector<double> y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto u = space.to_unit(result.trials[i].params);
+      auto row = x.row(i);
+      std::copy(u.begin(), u.end(), row.begin());
+      y[i] = result.trials[i].objective;
+    }
+    GaussianProcess gp{config_.gp};
+    gp.fit(x, y);
+
+    // Maximize EI over a random candidate pool.
+    double best_ei = -1.0;
+    std::vector<double> best_u(d, 0.5);
+    std::vector<double> u(d, 0.0);
+    for (std::size_t c = 0; c < config_.candidate_pool; ++c) {
+      for (double& v : u) v = rng.uniform();
+      const auto pred = gp.predict(u);
+      const double ei = expected_improvement(pred.mean, pred.variance,
+                                             result.best_objective,
+                                             config_.exploration);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_u = u;
+      }
+    }
+    record(space.from_unit(best_u));
+  }
+  return result;
+}
+
+}  // namespace varbench::hpo

@@ -1,0 +1,42 @@
+// Bayesian optimization: GP surrogate + expected-improvement acquisition,
+// maximized over a random candidate pool. All stochasticity (initial design,
+// candidate pool) is drawn from the ξH stream passed to optimize().
+#pragma once
+
+#include "src/hpo/gp.h"
+#include "src/hpo/hpo.h"
+
+namespace varbench::hpo {
+
+struct BayesOptConfig {
+  std::size_t initial_random = 5;    // random trials before the GP kicks in
+  std::size_t candidate_pool = 256;  // EI is maximized over this many samples
+  GpConfig gp;
+  double exploration = 0.01;  // EI xi: larger explores more
+};
+
+class BayesianOptimization final : public HpoAlgorithm {
+ public:
+  explicit BayesianOptimization(BayesOptConfig config = {})
+      : config_{config} {}
+
+  [[nodiscard]] HpoResult optimize(const SearchSpace& space,
+                                   const Objective& objective,
+                                   std::size_t budget,
+                                   rngx::Rng& rng) const override;
+  [[nodiscard]] std::string_view name() const override { return "bayes_opt"; }
+
+  [[nodiscard]] const BayesOptConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  BayesOptConfig config_;
+};
+
+/// Expected improvement of a (minimization) objective at posterior
+/// (mean, variance) given the current best value.
+[[nodiscard]] double expected_improvement(double mean, double variance,
+                                          double best, double xi);
+
+}  // namespace varbench::hpo

@@ -1,0 +1,62 @@
+#include "src/ml/dataset.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace varbench::ml {
+
+Dataset subset(const Dataset& d, std::span<const std::size_t> indices) {
+  Dataset out;
+  out.num_classes = d.num_classes;
+  out.kind = d.kind;
+  out.x = math::Matrix{indices.size(), d.dim()};
+  out.y.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t src = indices[i];
+    if (src >= d.size()) throw std::out_of_range("subset: index out of range");
+    const auto row = d.x.row(src);
+    auto dst = out.x.row(i);
+    for (std::size_t c = 0; c < row.size(); ++c) dst[c] = row[c];
+    out.y[i] = d.y[src];
+  }
+  return out;
+}
+
+std::size_t label_of(const Dataset& d, std::size_t i) {
+  if (d.kind != TaskKind::kClassification) {
+    throw std::invalid_argument("label_of: not a classification dataset");
+  }
+  return static_cast<std::size_t>(d.y.at(i));
+}
+
+std::vector<std::vector<std::size_t>> indices_by_class(const Dataset& d) {
+  if (d.kind != TaskKind::kClassification) {
+    throw std::invalid_argument("indices_by_class: not classification");
+  }
+  std::vector<std::vector<std::size_t>> out(d.num_classes);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    out.at(label_of(d, i)).push_back(i);
+  }
+  return out;
+}
+
+void validate(const Dataset& d) {
+  if (d.x.rows() != d.y.size()) {
+    throw std::invalid_argument("Dataset: x rows != y size");
+  }
+  if (d.kind == TaskKind::kClassification) {
+    if (d.num_classes < 2) {
+      throw std::invalid_argument("Dataset: classification needs >= 2 classes");
+    }
+    for (const double v : d.y) {
+      if (v < 0.0 || v >= static_cast<double>(d.num_classes) ||
+          v != std::floor(v)) {
+        throw std::invalid_argument("Dataset: label not an in-range integer");
+      }
+    }
+  } else if (d.num_classes != 0) {
+    throw std::invalid_argument("Dataset: regression must have num_classes 0");
+  }
+}
+
+}  // namespace varbench::ml

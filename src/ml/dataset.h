@@ -1,0 +1,44 @@
+// In-memory supervised dataset: feature matrix + targets. The unit the
+// splitters, pipelines and estimators all operate on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/math/matrix.h"
+
+namespace varbench::ml {
+
+enum class TaskKind : int {
+  kClassification,  // y is a class index in [0, num_classes)
+  kRegression,      // y is a real value, num_classes == 0
+};
+
+struct Dataset {
+  math::Matrix x;         // n × d feature matrix
+  std::vector<double> y;  // n targets
+  std::size_t num_classes = 0;
+  TaskKind kind = TaskKind::kClassification;
+
+  [[nodiscard]] std::size_t size() const noexcept { return y.size(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return x.cols(); }
+  [[nodiscard]] bool empty() const noexcept { return y.empty(); }
+};
+
+/// New dataset holding rows `indices` of `d` (duplicates allowed — this is
+/// how bootstrap replicates are materialized).
+[[nodiscard]] Dataset subset(const Dataset& d,
+                             std::span<const std::size_t> indices);
+
+/// Class label of sample i (classification datasets only).
+[[nodiscard]] std::size_t label_of(const Dataset& d, std::size_t i);
+
+/// Per-class sample indices (classification datasets only).
+[[nodiscard]] std::vector<std::vector<std::size_t>> indices_by_class(
+    const Dataset& d);
+
+/// Throws std::invalid_argument when shapes/kind/labels are inconsistent.
+void validate(const Dataset& d);
+
+}  // namespace varbench::ml

@@ -1,0 +1,39 @@
+#include "src/ml/init.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace varbench::ml {
+
+void initialize_weights(math::Matrix& w, InitScheme scheme, rngx::Rng& rng,
+                        double sigma) {
+  const auto fan_out = static_cast<double>(w.rows());
+  const auto fan_in = static_cast<double>(w.cols());
+  switch (scheme) {
+    case InitScheme::kGlorotUniform: {
+      const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+      for (double& v : w.data()) v = rng.uniform(-limit, limit);
+      return;
+    }
+    case InitScheme::kGlorotNormal: {
+      const double s = std::sqrt(2.0 / (fan_in + fan_out));
+      for (double& v : w.data()) v = rng.normal(0.0, s);
+      return;
+    }
+    case InitScheme::kHeNormal: {
+      const double s = std::sqrt(2.0 / fan_in);
+      for (double& v : w.data()) v = rng.normal(0.0, s);
+      return;
+    }
+    case InitScheme::kNormalScaled: {
+      if (!(sigma > 0.0)) {
+        throw std::invalid_argument("initialize_weights: sigma <= 0");
+      }
+      for (double& v : w.data()) v = rng.normal(0.0, sigma);
+      return;
+    }
+  }
+  throw std::invalid_argument("initialize_weights: unknown scheme");
+}
+
+}  // namespace varbench::ml

@@ -1,0 +1,21 @@
+// Weight-initialization schemes — one of the paper's probed variance sources
+// (ξO: "weights init"). Glorot (Xavier) and He initializers.
+#pragma once
+
+#include "src/math/matrix.h"
+#include "src/rngx/rng.h"
+
+namespace varbench::ml {
+
+enum class InitScheme : int {
+  kGlorotUniform,  // U(±√(6/(fan_in+fan_out))) — Glorot & Bengio 2010
+  kGlorotNormal,   // N(0, 2/(fan_in+fan_out))
+  kHeNormal,       // N(0, 2/fan_in) — He et al. 2015b
+  kNormalScaled,   // N(0, σ²) with caller-provided σ (the BERT-head case)
+};
+
+/// Fill `w` (fan_out × fan_in) in place.
+void initialize_weights(math::Matrix& w, InitScheme scheme, rngx::Rng& rng,
+                        double sigma = 0.2);
+
+}  // namespace varbench::ml

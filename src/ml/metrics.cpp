@@ -1,0 +1,143 @@
+#include "src/ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/stats/descriptive.h"
+
+namespace varbench::ml {
+
+std::string_view to_string(Metric m) {
+  switch (m) {
+    case Metric::kAccuracy:
+      return "accuracy";
+    case Metric::kMeanIoU:
+      return "mean_iou";
+    case Metric::kAuc:
+      return "auc";
+    case Metric::kPearson:
+      return "pearson";
+    case Metric::kNegMse:
+      return "neg_mse";
+  }
+  return "unknown";
+}
+
+std::vector<double> predict_classes(const math::Matrix& logits) {
+  std::vector<double> out(logits.rows(), 0.0);
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const auto row = logits.row(r);
+    const auto it = std::max_element(row.begin(), row.end());
+    out[r] = static_cast<double>(std::distance(row.begin(), it));
+  }
+  return out;
+}
+
+double accuracy(std::span<const double> predicted,
+                std::span<const double> labels) {
+  if (predicted.size() != labels.size() || predicted.empty()) {
+    throw std::invalid_argument("accuracy: bad inputs");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+double mean_iou(std::span<const double> predicted,
+                std::span<const double> labels, std::size_t num_classes) {
+  if (predicted.size() != labels.size() || predicted.empty()) {
+    throw std::invalid_argument("mean_iou: bad inputs");
+  }
+  std::vector<double> tp(num_classes, 0.0);
+  std::vector<double> fp(num_classes, 0.0);
+  std::vector<double> fn(num_classes, 0.0);
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const auto p = static_cast<std::size_t>(predicted[i]);
+    const auto l = static_cast<std::size_t>(labels[i]);
+    if (p >= num_classes || l >= num_classes) {
+      throw std::invalid_argument("mean_iou: class index out of range");
+    }
+    if (p == l) {
+      tp[p] += 1.0;
+    } else {
+      fp[p] += 1.0;
+      fn[l] += 1.0;
+    }
+  }
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const double denom = tp[c] + fp[c] + fn[c];
+    if (denom == 0.0) continue;  // class absent from both: skip
+    sum += tp[c] / denom;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+double roc_auc(std::span<const double> scores,
+               std::span<const double> binary_targets) {
+  if (scores.size() != binary_targets.size() || scores.empty()) {
+    throw std::invalid_argument("roc_auc: bad inputs");
+  }
+  double n_pos = 0.0;
+  for (const double t : binary_targets) {
+    if (t != 0.0 && t != 1.0) {
+      throw std::invalid_argument("roc_auc: targets must be 0/1");
+    }
+    n_pos += t;
+  }
+  const double n_neg = static_cast<double>(binary_targets.size()) - n_pos;
+  if (n_pos == 0.0 || n_neg == 0.0) return 0.5;
+  const auto r = stats::ranks(scores);
+  double rank_sum_pos = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (binary_targets[i] == 1.0) rank_sum_pos += r[i];
+  }
+  // AUC = (R⁺ − n⁺(n⁺+1)/2) / (n⁺·n⁻)  (Mann–Whitney identity)
+  return (rank_sum_pos - n_pos * (n_pos + 1.0) / 2.0) / (n_pos * n_neg);
+}
+
+std::vector<double> binarize(std::span<const double> values, double threshold) {
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = values[i] > threshold ? 1.0 : 0.0;
+  }
+  return out;
+}
+
+double evaluate_model(const Mlp& model, const Dataset& test, Metric metric,
+                      double binarize_threshold) {
+  if (test.empty()) throw std::invalid_argument("evaluate_model: empty test");
+  const math::Matrix logits = model.forward(test.x);
+  switch (metric) {
+    case Metric::kAccuracy:
+      return accuracy(predict_classes(logits), test.y);
+    case Metric::kMeanIoU:
+      return mean_iou(predict_classes(logits), test.y, test.num_classes);
+    case Metric::kAuc: {
+      std::vector<double> scores(logits.rows());
+      for (std::size_t r = 0; r < logits.rows(); ++r) scores[r] = logits(r, 0);
+      return roc_auc(scores, binarize(test.y, binarize_threshold));
+    }
+    case Metric::kPearson: {
+      std::vector<double> scores(logits.rows());
+      for (std::size_t r = 0; r < logits.rows(); ++r) scores[r] = logits(r, 0);
+      return stats::pearson(scores, test.y);
+    }
+    case Metric::kNegMse: {
+      double mse = 0.0;
+      for (std::size_t r = 0; r < logits.rows(); ++r) {
+        const double d = logits(r, 0) - test.y[r];
+        mse += d * d;
+      }
+      return -mse / static_cast<double>(logits.rows());
+    }
+  }
+  throw std::invalid_argument("evaluate_model: unknown metric");
+}
+
+}  // namespace varbench::ml

@@ -1,0 +1,54 @@
+// Evaluation metrics for the five case-study analogues: accuracy/error for
+// classification, mean IoU for dense labeling, AUC + Pearson for the
+// binding-affinity regression.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/math/matrix.h"
+#include "src/ml/dataset.h"
+#include "src/ml/mlp.h"
+
+namespace varbench::ml {
+
+enum class Metric : int {
+  kAccuracy,  // classification accuracy in [0, 1]
+  kMeanIoU,   // mean intersection-over-union over classes (PascalVOC analogue)
+  kAuc,       // ROC AUC on binarized regression targets (MHC analogue)
+  kPearson,   // Pearson correlation of prediction vs target
+  kNegMse,    // -MSE, so that higher is better uniformly
+};
+
+[[nodiscard]] std::string_view to_string(Metric m);
+
+/// Argmax class predictions from logits (B×C).
+[[nodiscard]] std::vector<double> predict_classes(const math::Matrix& logits);
+
+[[nodiscard]] double accuracy(std::span<const double> predicted,
+                              std::span<const double> labels);
+
+/// Mean IoU from hard predictions: IoU_c = TP_c/(TP_c+FP_c+FN_c), averaged
+/// over classes present in labels or predictions.
+[[nodiscard]] double mean_iou(std::span<const double> predicted,
+                              std::span<const double> labels,
+                              std::size_t num_classes);
+
+/// Rank-based ROC AUC of scores for binary targets (ties handled by
+/// mid-ranks). Targets must contain both classes; returns 0.5 otherwise.
+[[nodiscard]] double roc_auc(std::span<const double> scores,
+                             std::span<const double> binary_targets);
+
+/// Threshold regression targets at `threshold` to produce binary labels.
+[[nodiscard]] std::vector<double> binarize(std::span<const double> values,
+                                           double threshold);
+
+/// Evaluate a trained model on `test` with the given metric;
+/// all metrics are oriented so that HIGHER IS BETTER.
+/// `binarize_threshold` applies to Metric::kAuc only.
+[[nodiscard]] double evaluate_model(const Mlp& model, const Dataset& test,
+                                    Metric metric,
+                                    double binarize_threshold = 0.5);
+
+}  // namespace varbench::ml

@@ -1,0 +1,198 @@
+#include "src/ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace varbench::ml {
+
+namespace {
+// Seed of the shared "pretrained checkpoint" stream for frozen first layers.
+constexpr std::uint64_t kFrozenBackboneSeed = 0xFEEDFACECAFEBEEFULL;
+}  // namespace
+
+Mlp::Mlp(MlpConfig config, rngx::Rng& init_rng) : config_{std::move(config)} {
+  if (config_.input_dim == 0 || config_.output_dim == 0) {
+    throw std::invalid_argument("Mlp: zero input or output dim");
+  }
+  if (!(config_.dropout >= 0.0 && config_.dropout < 1.0)) {
+    throw std::invalid_argument("Mlp: dropout must be in [0, 1)");
+  }
+  std::vector<std::size_t> dims;
+  dims.push_back(config_.input_dim);
+  dims.insert(dims.end(), config_.hidden.begin(), config_.hidden.end());
+  dims.push_back(config_.output_dim);
+
+  rngx::Rng frozen_rng{kFrozenBackboneSeed};
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    math::Matrix w{dims[i + 1], dims[i]};
+    rngx::Rng& rng = layer_trainable(i) ? init_rng : frozen_rng;
+    initialize_weights(w, config_.init, rng, config_.init_sigma);
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(dims[i + 1], 0.0);
+  }
+}
+
+std::size_t Mlp::num_parameters() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    n += weights_[i].size() + biases_[i].size();
+  }
+  return n;
+}
+
+namespace {
+
+math::Matrix affine(const math::Matrix& input, const math::Matrix& w,
+                    const std::vector<double>& b) {
+  // input (B×in) · wᵀ (in×out) + b → (B×out)
+  math::Matrix out = math::matmul_nt(input, w);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] += b[c];
+  }
+  return out;
+}
+
+void relu_inplace(math::Matrix& m) {
+  for (double& v : m.data()) v = std::max(v, 0.0);
+}
+
+}  // namespace
+
+math::Matrix Mlp::forward(const math::Matrix& batch) const {
+  math::Matrix h = batch;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    h = affine(h, weights_[i], biases_[i]);
+    if (i + 1 < weights_.size()) relu_inplace(h);
+  }
+  return h;
+}
+
+math::Matrix Mlp::forward_train(const math::Matrix& batch,
+                                rngx::Rng& dropout_rng,
+                                ForwardCache& cache) const {
+  const std::size_t L = weights_.size();
+  cache.inputs.assign(L, {});
+  cache.pre.assign(L, {});
+  cache.dropout_mask.assign(L, {});
+  math::Matrix h = batch;
+  for (std::size_t i = 0; i < L; ++i) {
+    cache.inputs[i] = h;
+    h = affine(h, weights_[i], biases_[i]);
+    cache.pre[i] = h;
+    if (i + 1 < L) {
+      relu_inplace(h);
+      if (config_.dropout > 0.0) {
+        // Inverted dropout: scale at train time so inference needs no change.
+        math::Matrix mask{h.rows(), h.cols()};
+        const double keep = 1.0 - config_.dropout;
+        for (std::size_t j = 0; j < mask.size(); ++j) {
+          mask.data()[j] = dropout_rng.bernoulli(keep) ? 1.0 / keep : 0.0;
+        }
+        for (std::size_t j = 0; j < h.size(); ++j) {
+          h.data()[j] *= mask.data()[j];
+        }
+        cache.dropout_mask[i] = std::move(mask);
+      }
+    }
+  }
+  return h;
+}
+
+Gradients Mlp::backward(const ForwardCache& cache,
+                        const math::Matrix& grad_logits) const {
+  const std::size_t L = weights_.size();
+  Gradients g;
+  g.weights.resize(L);
+  g.biases.resize(L);
+  math::Matrix delta = grad_logits;  // d(loss)/d(pre-activation of layer L-1)
+  for (std::size_t ii = L; ii-- > 0;) {
+    // Weight/bias gradients for layer ii.
+    if (layer_trainable(ii)) {
+      g.weights[ii] = math::matmul_tn(delta, cache.inputs[ii]);
+      g.biases[ii].assign(biases_[ii].size(), 0.0);
+      for (std::size_t r = 0; r < delta.rows(); ++r) {
+        const auto row = delta.row(r);
+        for (std::size_t c = 0; c < row.size(); ++c) g.biases[ii][c] += row[c];
+      }
+    } else {
+      g.weights[ii] = math::Matrix{weights_[ii].rows(), weights_[ii].cols()};
+      g.biases[ii].assign(biases_[ii].size(), 0.0);
+    }
+    if (ii == 0) break;
+    // Propagate to previous layer: delta ← (delta · W_ii) ⊙ relu'(pre_{ii-1})
+    // with the dropout mask of layer ii-1 applied.
+    math::Matrix prev = math::matmul(delta, weights_[ii]);
+    const math::Matrix& pre_prev = cache.pre[ii - 1];
+    for (std::size_t j = 0; j < prev.size(); ++j) {
+      if (pre_prev.data()[j] <= 0.0) prev.data()[j] = 0.0;
+    }
+    const math::Matrix& mask = cache.dropout_mask[ii - 1];
+    if (!mask.empty()) {
+      for (std::size_t j = 0; j < prev.size(); ++j) {
+        prev.data()[j] *= mask.data()[j];
+      }
+    }
+    delta = std::move(prev);
+  }
+  return g;
+}
+
+math::Matrix softmax(const math::Matrix& logits) {
+  math::Matrix p{logits.rows(), logits.cols()};
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const auto in = logits.row(r);
+    auto out = p.row(r);
+    const double mx = *std::max_element(in.begin(), in.end());
+    double sum = 0.0;
+    for (std::size_t c = 0; c < in.size(); ++c) {
+      out[c] = std::exp(in[c] - mx);
+      sum += out[c];
+    }
+    for (double& v : out) v /= sum;
+  }
+  return p;
+}
+
+double softmax_cross_entropy(const math::Matrix& logits,
+                             std::span<const double> labels,
+                             math::Matrix& grad) {
+  const std::size_t batch = logits.rows();
+  if (labels.size() != batch) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  grad = softmax(logits);
+  double loss = 0.0;
+  const double inv_b = 1.0 / static_cast<double>(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const auto label = static_cast<std::size_t>(labels[r]);
+    if (label >= logits.cols()) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    auto grow = grad.row(r);
+    loss -= std::log(std::max(grow[label], 1e-300));
+    grow[label] -= 1.0;
+    for (double& v : grow) v *= inv_b;
+  }
+  return loss * inv_b;
+}
+
+double mse_loss(const math::Matrix& pred, std::span<const double> targets,
+                math::Matrix& grad) {
+  const std::size_t batch = pred.rows();
+  if (pred.cols() != 1 || targets.size() != batch) {
+    throw std::invalid_argument("mse_loss: shape mismatch");
+  }
+  grad = math::Matrix{batch, 1};
+  double loss = 0.0;
+  const double inv_b = 1.0 / static_cast<double>(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double diff = pred(r, 0) - targets[r];
+    loss += diff * diff;
+    grad(r, 0) = 2.0 * diff * inv_b;
+  }
+  return loss * inv_b;
+}
+
+}  // namespace varbench::ml

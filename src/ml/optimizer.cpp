@@ -1,0 +1,129 @@
+#include "src/ml/optimizer.h"
+
+#include <cmath>
+
+namespace varbench::ml {
+
+namespace {
+
+void ensure_state(std::vector<std::vector<double>>& state, std::size_t layers,
+                  const std::vector<math::Matrix>& shapes) {
+  if (state.size() == layers) return;
+  state.resize(layers);
+  for (std::size_t i = 0; i < layers; ++i) {
+    state[i].assign(shapes[i].size(), 0.0);
+  }
+}
+
+void ensure_bias_state(std::vector<std::vector<double>>& state,
+                       std::size_t layers,
+                       const std::vector<std::vector<double>>& shapes) {
+  if (state.size() == layers) return;
+  state.resize(layers);
+  for (std::size_t i = 0; i < layers; ++i) {
+    state[i].assign(shapes[i].size(), 0.0);
+  }
+}
+
+}  // namespace
+
+void SgdOptimizer::step(Mlp& model, const Gradients& g) {
+  const std::size_t L = model.num_layers();
+  ensure_state(weight_velocity_, L, model.weights());
+  ensure_bias_state(bias_velocity_, L, model.biases());
+  const double lr = current_lr();
+  for (std::size_t i = 0; i < L; ++i) {
+    if (!model.layer_trainable(i)) continue;
+    auto w = model.weights()[i].data();
+    const auto gw = g.weights[i].data();
+    auto& vel = weight_velocity_[i];
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      const double grad = gw[j] + config_.weight_decay * w[j];
+      vel[j] = config_.momentum * vel[j] + grad;
+      w[j] -= lr * vel[j];
+    }
+    auto& b = model.biases()[i];
+    const auto& gb = g.biases[i];
+    auto& bvel = bias_velocity_[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      bvel[j] = config_.momentum * bvel[j] + gb[j];
+      b[j] -= lr * bvel[j];
+    }
+  }
+}
+
+OptimizerState SgdOptimizer::save_state() const {
+  OptimizerState s;
+  s.buffers = weight_velocity_;
+  s.buffers.insert(s.buffers.end(), bias_velocity_.begin(),
+                   bias_velocity_.end());
+  s.lr_scale = lr_scale_;
+  s.step_count = 0;
+  return s;
+}
+
+void SgdOptimizer::load_state(const OptimizerState& state) {
+  const std::size_t half = state.buffers.size() / 2;
+  weight_velocity_.assign(state.buffers.begin(), state.buffers.begin() + half);
+  bias_velocity_.assign(state.buffers.begin() + half, state.buffers.end());
+  lr_scale_ = state.lr_scale;
+}
+
+void AdamOptimizer::step(Mlp& model, const Gradients& g) {
+  const std::size_t L = model.num_layers();
+  ensure_state(m_w_, L, model.weights());
+  ensure_state(v_w_, L, model.weights());
+  ensure_bias_state(m_b_, L, model.biases());
+  ensure_bias_state(v_b_, L, model.biases());
+  ++t_;
+  const double lr = current_lr();
+  const double b1 = config_.adam_beta1;
+  const double b2 = config_.adam_beta2;
+  const double bc1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  constexpr double kEps = 1e-8;
+  for (std::size_t i = 0; i < L; ++i) {
+    if (!model.layer_trainable(i)) continue;
+    auto w = model.weights()[i].data();
+    const auto gw = g.weights[i].data();
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      const double grad = gw[j] + config_.weight_decay * w[j];
+      m_w_[i][j] = b1 * m_w_[i][j] + (1.0 - b1) * grad;
+      v_w_[i][j] = b2 * v_w_[i][j] + (1.0 - b2) * grad * grad;
+      w[j] -= lr * (m_w_[i][j] / bc1) / (std::sqrt(v_w_[i][j] / bc2) + kEps);
+    }
+    auto& b = model.biases()[i];
+    const auto& gb = g.biases[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      m_b_[i][j] = b1 * m_b_[i][j] + (1.0 - b1) * gb[j];
+      v_b_[i][j] = b2 * v_b_[i][j] + (1.0 - b2) * gb[j] * gb[j];
+      b[j] -= lr * (m_b_[i][j] / bc1) / (std::sqrt(v_b_[i][j] / bc2) + kEps);
+    }
+  }
+}
+
+OptimizerState AdamOptimizer::save_state() const {
+  OptimizerState s;
+  for (const auto* bank : {&m_w_, &v_w_, &m_b_, &v_b_}) {
+    s.buffers.insert(s.buffers.end(), bank->begin(), bank->end());
+  }
+  s.lr_scale = lr_scale_;
+  s.step_count = t_;
+  return s;
+}
+
+void AdamOptimizer::load_state(const OptimizerState& state) {
+  const std::size_t quarter = state.buffers.size() / 4;
+  auto it = state.buffers.begin();
+  m_w_.assign(it, it + quarter);
+  it += quarter;
+  v_w_.assign(it, it + quarter);
+  it += quarter;
+  m_b_.assign(it, it + quarter);
+  it += quarter;
+  v_b_.assign(it, state.buffers.end());
+  lr_scale_ = state.lr_scale;
+  t_ = state.step_count;
+}
+
+}  // namespace varbench::ml

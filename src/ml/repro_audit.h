@@ -1,0 +1,47 @@
+// Appendix A's reproducibility testing procedure, as an automated audit:
+// before trusting a variance study, verify that the pipeline is
+//   1. deterministic  — identical seeds → bit-identical models (× repeats),
+//   2. seed-sensitive — each variation source actually changes the result
+//      when (and only when) its mechanism is active,
+//   3. resumable      — interrupting after any epoch and resuming gives a
+//      model bit-identical to an uninterrupted run.
+// The paper reports that exactly this protocol "uncovered many bugs and
+// typical reproducibility issues".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ml/trainer.h"
+
+namespace varbench::ml {
+
+struct ReproAuditConfig {
+  std::size_t num_seeds = 3;    // paper: 5 seeds per source
+  std::size_t num_repeats = 3;  // paper: 5 executions per seed
+};
+
+struct ReproAuditReport {
+  bool deterministic = true;
+  bool resumable = true;
+  // Sources that changed the trained model when re-seeded.
+  std::vector<rngx::VariationSource> sensitive_sources;
+  // Human-readable findings (empty when everything passes).
+  std::vector<std::string> failures;
+
+  [[nodiscard]] bool passed() const {
+    return deterministic && resumable && failures.empty();
+  }
+};
+
+/// True when two models have bit-identical parameters.
+[[nodiscard]] bool models_identical(const Mlp& a, const Mlp& b);
+
+/// Run the full audit of a training configuration on a dataset.
+/// NOTE: configs with numerical_noise_std > 0 are *expected* to fail the
+/// determinism check — that is the paper's irreproducible-pipeline case.
+[[nodiscard]] ReproAuditReport audit_reproducibility(
+    const Dataset& train, const TrainConfig& config,
+    const ReproAuditConfig& audit = {});
+
+}  // namespace varbench::ml

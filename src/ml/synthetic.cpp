@@ -1,0 +1,144 @@
+#include "src/ml/synthetic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/ml/mlp.h"
+
+namespace varbench::ml {
+
+namespace {
+
+std::size_t sample_class(const std::vector<double>& probs,
+                         std::size_t num_classes, rngx::Rng& rng) {
+  if (probs.empty()) return rng.uniform_index(num_classes);
+  double u = rng.uniform();
+  for (std::size_t c = 0; c < probs.size(); ++c) {
+    u -= probs[c];
+    if (u <= 0.0) return c;
+  }
+  return probs.size() - 1;
+}
+
+}  // namespace
+
+Dataset make_gaussian_mixture(const GaussianMixtureConfig& config,
+                              rngx::Rng& rng) {
+  if (config.num_classes < 2) {
+    throw std::invalid_argument("make_gaussian_mixture: need >= 2 classes");
+  }
+  if (!config.class_probs.empty() &&
+      config.class_probs.size() != config.num_classes) {
+    throw std::invalid_argument("make_gaussian_mixture: class_probs size");
+  }
+  // Class means: deterministic function of the task geometry, not of `rng`,
+  // so every draw comes from the same distribution D. Means sit on signed
+  // coordinate axes (±class_sep·e_j), guaranteeing pairwise distance
+  // >= class_sep·√2 — random directions can land arbitrarily close in low
+  // dimension, which would silently change task difficulty.
+  if (config.num_classes > 2 * config.dim) {
+    throw std::invalid_argument(
+        "make_gaussian_mixture: need num_classes <= 2*dim");
+  }
+  math::Matrix means{config.num_classes, config.dim};
+  for (std::size_t c = 0; c < config.num_classes; ++c) {
+    const std::size_t axis = c % config.dim;
+    const double sign = c < config.dim ? 1.0 : -1.0;
+    means(c, axis) = sign * config.class_sep;
+  }
+
+  Dataset d;
+  d.kind = TaskKind::kClassification;
+  d.num_classes = config.num_classes;
+  d.x = math::Matrix{config.n, config.dim};
+  d.y.resize(config.n);
+  for (std::size_t i = 0; i < config.n; ++i) {
+    const std::size_t c = sample_class(config.class_probs, config.num_classes, rng);
+    const auto mean = means.row(c);
+    auto row = d.x.row(i);
+    for (std::size_t j = 0; j < config.dim; ++j) {
+      row[j] = mean[j] + rng.normal(0.0, config.within_std);
+    }
+    std::size_t label = c;
+    if (config.label_noise > 0.0 && rng.bernoulli(config.label_noise)) {
+      label = (c + 1 + rng.uniform_index(config.num_classes - 1)) %
+              config.num_classes;
+    }
+    d.y[i] = static_cast<double>(label);
+  }
+  return d;
+}
+
+Dataset make_regression_teacher(const RegressionTeacherConfig& config,
+                                rngx::Rng& rng) {
+  // The teacher network is the fixed "true" input→affinity mechanism.
+  MlpConfig teacher_cfg;
+  teacher_cfg.input_dim = config.dim;
+  teacher_cfg.hidden = {config.teacher_hidden};
+  teacher_cfg.output_dim = 1;
+  teacher_cfg.init = InitScheme::kGlorotNormal;
+  rngx::Rng teacher_rng{config.teacher_seed};
+  const Mlp teacher{teacher_cfg, teacher_rng};
+
+  Dataset d;
+  d.kind = TaskKind::kRegression;
+  d.num_classes = 0;
+  d.x = math::Matrix{config.n, config.dim};
+  d.y.resize(config.n);
+  for (std::size_t i = 0; i < config.n; ++i) {
+    auto row = d.x.row(i);
+    for (double& v : row) v = rng.normal();
+  }
+  // Standardize the teacher's raw scores before squashing so the affinity
+  // distribution is centered: binarizing at 0.5 then yields balanced
+  // binder/non-binder classes, keeping the AUC metric well-conditioned.
+  const math::Matrix raw = teacher.forward(d.x);
+  double mean_raw = 0.0;
+  for (std::size_t i = 0; i < config.n; ++i) mean_raw += raw(i, 0);
+  mean_raw /= static_cast<double>(config.n);
+  double var_raw = 0.0;
+  for (std::size_t i = 0; i < config.n; ++i) {
+    var_raw += (raw(i, 0) - mean_raw) * (raw(i, 0) - mean_raw);
+  }
+  const double std_raw =
+      std::max(std::sqrt(var_raw / static_cast<double>(config.n)), 1e-12);
+  for (std::size_t i = 0; i < config.n; ++i) {
+    const double z = (raw(i, 0) - mean_raw) / std_raw * 1.5;
+    const double noisy = z + rng.normal(0.0, config.noise_std);
+    d.y[i] = 1.0 / (1.0 + std::exp(-noisy));  // squash to (0, 1)
+  }
+  return d;
+}
+
+Dataset make_sparse_binary(const SparseBinaryConfig& config, rngx::Rng& rng) {
+  if (config.informative > config.dim) {
+    throw std::invalid_argument("make_sparse_binary: informative > dim");
+  }
+  Dataset d;
+  d.kind = TaskKind::kClassification;
+  d.num_classes = 2;
+  d.x = math::Matrix{config.n, config.dim};
+  d.y.resize(config.n);
+  for (std::size_t i = 0; i < config.n; ++i) {
+    const std::size_t c = rng.uniform_index(2);
+    auto row = d.x.row(i);
+    for (std::size_t j = 0; j < config.dim; ++j) {
+      if (!rng.bernoulli(config.density)) continue;  // sparse count vector
+      double v = std::abs(rng.normal(0.5, 0.5));
+      if (j < config.informative) {
+        // Class 1 shifts informative features up, class 0 down.
+        v += (c == 1 ? config.signal : -config.signal * 0.5);
+        v = std::max(v, 0.0);
+      }
+      row[j] = v;
+    }
+    std::size_t label = c;
+    if (config.label_noise > 0.0 && rng.bernoulli(config.label_noise)) {
+      label = 1 - c;
+    }
+    d.y[i] = static_cast<double>(label);
+  }
+  return d;
+}
+
+}  // namespace varbench::ml

@@ -1,0 +1,58 @@
+// Synthetic dataset generators — the stand-ins for the paper's CIFAR10 /
+// Glue / PascalVOC / MHC data (see DESIGN.md §2 for the substitution map).
+// A generator draws a finite dataset S ~ D^n from a known distribution D,
+// so data-sampling variance can also be verified against ground truth.
+#pragma once
+
+#include "src/ml/dataset.h"
+#include "src/rngx/rng.h"
+
+namespace varbench::ml {
+
+/// Gaussian-mixture classification: one spherical Gaussian per class with
+/// means spread on a sphere of radius `class_sep`. `class_probs` may be
+/// empty (balanced) or give per-class sampling weights (imbalanced tasks).
+struct GaussianMixtureConfig {
+  std::size_t num_classes = 2;
+  std::size_t dim = 16;
+  std::size_t n = 1000;
+  double class_sep = 2.0;    // distance scale between class means
+  double within_std = 1.0;   // within-class standard deviation
+  std::vector<double> class_probs;  // empty → balanced
+  // Fraction of labels flipped to a random other class — the irreducible
+  // Bayes-error knob that keeps accuracies away from 100%.
+  double label_noise = 0.0;
+};
+
+[[nodiscard]] Dataset make_gaussian_mixture(const GaussianMixtureConfig& config,
+                                            rngx::Rng& rng);
+
+/// Regression from a random shallow-MLP teacher, targets squashed to [0, 1]
+/// via a logistic — the normalized-binding-affinity analogue (MHC task).
+struct RegressionTeacherConfig {
+  std::size_t dim = 24;
+  std::size_t n = 2000;
+  std::size_t teacher_hidden = 16;
+  double noise_std = 0.05;  // additive observation noise on targets
+  std::uint64_t teacher_seed = 0xABCD1234u;  // fixed: the "true" mechanism
+};
+
+[[nodiscard]] Dataset make_regression_teacher(
+    const RegressionTeacherConfig& config, rngx::Rng& rng);
+
+/// "Two informative bands" binary text-like task: sparse non-negative
+/// bag-of-features counts whose class signal lives in a small subset of
+/// features (SST-2/RTE analogue).
+struct SparseBinaryConfig {
+  std::size_t dim = 64;
+  std::size_t n = 2000;
+  std::size_t informative = 8;  // features carrying the class signal
+  double signal = 1.0;          // mean shift of informative features
+  double density = 0.25;        // probability a feature is non-zero
+  double label_noise = 0.05;
+};
+
+[[nodiscard]] Dataset make_sparse_binary(const SparseBinaryConfig& config,
+                                         rngx::Rng& rng);
+
+}  // namespace varbench::ml

@@ -1,0 +1,81 @@
+// The paper's ξ: the set of all random variation sources in a learning
+// pipeline, ξ = ξO ∪ ξH (§2.1). Each source has its own named seed so that
+// experiments can randomize any subset while holding the rest fixed — the
+// exact protocol of the paper's §2.2 variance study and §3 estimators.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "src/rngx/rng.h"
+
+namespace varbench::rngx {
+
+/// Every source of uncontrolled variation the paper probes (Fig. 1).
+enum class VariationSource : std::uint8_t {
+  kDataSplit,    // ξO: bootstrap / train-test split of the data
+  kDataOrder,    // ξO: visit order in SGD
+  kDataAugment,  // ξO: stochastic data augmentation
+  kWeightInit,   // ξO: parameter initialization
+  kDropout,      // ξO: dropout masks
+  kHpo,          // ξH: hyperparameter-optimization stochasticity
+  kNumerical,    // residual numerical noise (all seeds fixed)
+};
+
+inline constexpr std::array<VariationSource, 7> kAllVariationSources{
+    VariationSource::kDataSplit,   VariationSource::kDataOrder,
+    VariationSource::kDataAugment, VariationSource::kWeightInit,
+    VariationSource::kDropout,     VariationSource::kHpo,
+    VariationSource::kNumerical,
+};
+
+/// ξO only (the learning-procedure sources, excluding HOpt and the
+/// numerical-noise pseudo-source).
+inline constexpr std::array<VariationSource, 5> kLearningSources{
+    VariationSource::kDataSplit,   VariationSource::kDataOrder,
+    VariationSource::kDataAugment, VariationSource::kWeightInit,
+    VariationSource::kDropout,
+};
+
+[[nodiscard]] std::string_view to_string(VariationSource source);
+
+/// One concrete assignment of seeds to every variation source — a sampled ξ.
+/// Value type: copying a VariationSeeds freezes the randomness of a run.
+struct VariationSeeds {
+  std::uint64_t data_split = 1;
+  std::uint64_t data_order = 2;
+  std::uint64_t data_augment = 3;
+  std::uint64_t weight_init = 4;
+  std::uint64_t dropout = 5;
+  std::uint64_t hpo = 6;
+
+  friend bool operator==(const VariationSeeds&, const VariationSeeds&) = default;
+
+  [[nodiscard]] std::uint64_t seed_for(VariationSource source) const;
+  void set_seed(VariationSource source, std::uint64_t seed);
+
+  /// Independent generator for one source, as used inside the pipeline.
+  [[nodiscard]] Rng rng_for(VariationSource source) const;
+
+  /// All seeds drawn fresh from `master` — the paper's "ξ ∼ RNG()".
+  [[nodiscard]] static VariationSeeds random(Rng& master);
+
+  /// Copy of *this with only `source` re-randomized (variance probing:
+  /// "randomize the seeds 200 times while keeping all other sources fixed").
+  [[nodiscard]] VariationSeeds with_randomized(VariationSource source,
+                                               Rng& master) const;
+
+  /// Copy of *this with every source in `sources` re-randomized.
+  template <typename Range>
+  [[nodiscard]] VariationSeeds with_randomized_set(const Range& sources,
+                                                   Rng& master) const {
+    VariationSeeds out = *this;
+    for (const VariationSource s : sources) {
+      out = out.with_randomized(s, master);
+    }
+    return out;
+  }
+};
+
+}  // namespace varbench::rngx

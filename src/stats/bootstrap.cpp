@@ -1,0 +1,57 @@
+#include "src/stats/bootstrap.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/stats/descriptive.h"
+
+namespace varbench::stats {
+
+std::vector<double> bootstrap_resample(std::span<const double> x,
+                                       rngx::Rng& rng) {
+  std::vector<double> out(x.size());
+  for (auto& v : out) v = x[rng.uniform_index(x.size())];
+  return out;
+}
+
+ConfidenceInterval percentile_bootstrap_ci(
+    std::span<const double> x,
+    const std::function<double(std::span<const double>)>& statistic,
+    rngx::Rng& rng, std::size_t num_resamples, double alpha) {
+  if (x.empty()) throw std::invalid_argument("percentile_bootstrap_ci: empty");
+  std::vector<double> stats;
+  stats.reserve(num_resamples);
+  for (std::size_t i = 0; i < num_resamples; ++i) {
+    const auto resample = bootstrap_resample(x, rng);
+    stats.push_back(statistic(resample));
+  }
+  return ConfidenceInterval{quantile(stats, alpha / 2.0),
+                            quantile(stats, 1.0 - alpha / 2.0), 1.0 - alpha};
+}
+
+ConfidenceInterval paired_percentile_bootstrap_ci(
+    std::span<const double> a, std::span<const double> b,
+    const std::function<double(std::span<const double>,
+                               std::span<const double>)>& statistic,
+    rngx::Rng& rng, std::size_t num_resamples, double alpha) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("paired_percentile_bootstrap_ci: bad inputs");
+  }
+  const std::size_t n = a.size();
+  std::vector<double> ra(n);
+  std::vector<double> rb(n);
+  std::vector<double> stats;
+  stats.reserve(num_resamples);
+  for (std::size_t i = 0; i < num_resamples; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t idx = rng.uniform_index(n);
+      ra[j] = a[idx];
+      rb[j] = b[idx];
+    }
+    stats.push_back(statistic(ra, rb));
+  }
+  return ConfidenceInterval{quantile(stats, alpha / 2.0),
+                            quantile(stats, 1.0 - alpha / 2.0), 1.0 - alpha};
+}
+
+}  // namespace varbench::stats

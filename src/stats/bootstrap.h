@@ -1,0 +1,42 @@
+// Percentile bootstrap (Efron 1982) — the paper's recommended tool for
+// confidence intervals on P(A>B) (Appendix C.5), plus generic resampling.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/rngx/rng.h"
+
+namespace varbench::stats {
+
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double level = 0.95;  // 1 - alpha
+
+  friend bool operator==(const ConfidenceInterval&,
+                         const ConfidenceInterval&) = default;
+};
+
+/// One bootstrap resample (with replacement, same size) of `x`.
+[[nodiscard]] std::vector<double> bootstrap_resample(std::span<const double> x,
+                                                     rngx::Rng& rng);
+
+/// Percentile-bootstrap CI of an arbitrary statistic of one sample.
+/// `statistic` is evaluated on `num_resamples` bootstrap resamples; the CI is
+/// the (α/2, 1−α/2) percentile pair of those evaluations.
+[[nodiscard]] ConfidenceInterval percentile_bootstrap_ci(
+    std::span<const double> x,
+    const std::function<double(std::span<const double>)>& statistic,
+    rngx::Rng& rng, std::size_t num_resamples = 1000, double alpha = 0.05);
+
+/// Percentile-bootstrap CI of a statistic of *paired* samples (a_i, b_i):
+/// pairs are resampled together, preserving the pairing (Appendix C.5).
+[[nodiscard]] ConfidenceInterval paired_percentile_bootstrap_ci(
+    std::span<const double> a, std::span<const double> b,
+    const std::function<double(std::span<const double>,
+                               std::span<const double>)>& statistic,
+    rngx::Rng& rng, std::size_t num_resamples = 1000, double alpha = 0.05);
+
+}  // namespace varbench::stats

@@ -1,0 +1,53 @@
+// Descriptive statistics: means, variances, quantiles, correlations, ranks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace varbench::stats {
+
+[[nodiscard]] double mean(std::span<const double> x);
+
+/// Unbiased sample variance (divides by n-1). Returns 0 for n < 2.
+[[nodiscard]] double variance(std::span<const double> x);
+
+[[nodiscard]] double stddev(std::span<const double> x);
+
+/// Standard error of the mean: s/√n.
+[[nodiscard]] double standard_error(std::span<const double> x);
+
+[[nodiscard]] double min_value(std::span<const double> x);
+[[nodiscard]] double max_value(std::span<const double> x);
+
+/// Linear-interpolation quantile (type 7, the numpy default). q in [0, 1].
+[[nodiscard]] double quantile(std::span<const double> x, double q);
+
+[[nodiscard]] double median(std::span<const double> x);
+
+/// Unbiased sample covariance.
+[[nodiscard]] double covariance(std::span<const double> x,
+                                std::span<const double> y);
+
+/// Pearson correlation coefficient. Returns 0 when either input is constant.
+[[nodiscard]] double pearson(std::span<const double> x,
+                             std::span<const double> y);
+
+/// Spearman rank correlation (Pearson on mid-ranks).
+[[nodiscard]] double spearman(std::span<const double> x,
+                              std::span<const double> y);
+
+/// Mid-ranks (1-based, ties get the average rank) — the Mann–Whitney /
+/// Wilcoxon building block.
+[[nodiscard]] std::vector<double> ranks(std::span<const double> x);
+
+/// Approximate standard deviation of the sample standard deviation of a
+/// normal sample of size n: σ/√(2(n-1)). Used for the uncertainty bands of
+/// Fig. 5 / H.4.
+[[nodiscard]] double stddev_of_stddev(double sigma, std::size_t n);
+
+/// Average pairwise Pearson correlation implied by the law of total variance:
+/// given Var(mean of k draws) and Var(single draw), solves Eq. 7 for ρ.
+[[nodiscard]] double implied_correlation(double var_of_mean, double var_single,
+                                         std::size_t k);
+
+}  // namespace varbench::stats

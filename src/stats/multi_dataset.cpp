@@ -1,0 +1,99 @@
+#include "src/stats/multi_dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/stats/descriptive.h"
+#include "src/stats/distributions.h"
+
+namespace varbench::stats {
+
+FriedmanResult friedman_test(const math::Matrix& scores) {
+  const std::size_t n = scores.rows();  // datasets
+  const std::size_t k = scores.cols();  // algorithms
+  if (n < 2 || k < 2) {
+    throw std::invalid_argument("friedman_test: need >= 2 datasets and algos");
+  }
+  FriedmanResult r;
+  r.average_ranks.assign(k, 0.0);
+  for (std::size_t d = 0; d < n; ++d) {
+    // Rank within the dataset, 1 = best (highest score).
+    std::vector<double> negated(k);
+    for (std::size_t a = 0; a < k; ++a) negated[a] = -scores(d, a);
+    const auto row_ranks = ranks(negated);
+    for (std::size_t a = 0; a < k; ++a) r.average_ranks[a] += row_ranks[a];
+  }
+  for (double& v : r.average_ranks) v /= static_cast<double>(n);
+
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  double sum_rank_sq = 0.0;
+  for (const double rj : r.average_ranks) sum_rank_sq += rj * rj;
+  r.chi_squared = 12.0 * nd / (kd * (kd + 1.0)) *
+                  (sum_rank_sq - kd * (kd + 1.0) * (kd + 1.0) / 4.0);
+  r.p_value = 1.0 - chi_squared_cdf(r.chi_squared, kd - 1.0);
+  // Iman–Davenport correction (F-distributed, less conservative).
+  const double denom = nd * (kd - 1.0) - r.chi_squared;
+  r.iman_davenport_f =
+      denom > 0.0 ? (nd - 1.0) * r.chi_squared / denom
+                  : std::numeric_limits<double>::infinity();
+  return r;
+}
+
+double nemenyi_critical_difference(std::size_t num_algorithms,
+                                   std::size_t num_datasets) {
+  // q_{0.05} values for the studentized range / sqrt(2), k = 2..10
+  // (Demšar 2006, Table 5a).
+  static constexpr double kQ05[] = {1.960, 2.343, 2.569, 2.728, 2.850,
+                                    2.949, 3.031, 3.102, 3.164};
+  if (num_algorithms < 2 || num_algorithms > 10) {
+    throw std::invalid_argument(
+        "nemenyi_critical_difference: k must be in [2, 10]");
+  }
+  if (num_datasets < 2) {
+    throw std::invalid_argument("nemenyi_critical_difference: N < 2");
+  }
+  const double q = kQ05[num_algorithms - 2];
+  const double kd = static_cast<double>(num_algorithms);
+  const double nd = static_cast<double>(num_datasets);
+  return q * std::sqrt(kd * (kd + 1.0) / (6.0 * nd));
+}
+
+std::vector<std::size_t> nemenyi_top_group(const FriedmanResult& friedman,
+                                           std::size_t num_datasets) {
+  const auto& ranks_avg = friedman.average_ranks;
+  const double best =
+      *std::min_element(ranks_avg.begin(), ranks_avg.end());
+  const double cd =
+      nemenyi_critical_difference(ranks_avg.size(), num_datasets);
+  std::vector<std::size_t> group;
+  for (std::size_t a = 0; a < ranks_avg.size(); ++a) {
+    if (ranks_avg[a] - best <= cd) group.push_back(a);
+  }
+  return group;
+}
+
+ReplicabilityResult replicability_analysis(
+    std::span<const double> per_dataset_p_values, double alpha) {
+  if (per_dataset_p_values.empty()) {
+    throw std::invalid_argument("replicability_analysis: no p-values");
+  }
+  ReplicabilityResult r;
+  r.dataset_count = per_dataset_p_values.size();
+  const double corrected = bonferroni_alpha(alpha, r.dataset_count);
+  for (const double p : per_dataset_p_values) {
+    const bool sig = p < corrected;
+    r.significant.push_back(sig);
+    if (sig) ++r.significant_count;
+  }
+  r.improves_on_all = r.significant_count == r.dataset_count;
+  return r;
+}
+
+TestResult wilcoxon_across_datasets(std::span<const double> a,
+                                    std::span<const double> b) {
+  return wilcoxon_signed_rank(a, b);
+}
+
+}  // namespace varbench::stats

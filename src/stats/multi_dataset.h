@@ -1,0 +1,56 @@
+// Comparing algorithms across multiple datasets (paper §6):
+//   - Demšar (2006): Friedman rank test + Nemenyi critical difference,
+//     and Wilcoxon signed-rank across datasets. Weak for the 3-5 datasets
+//     typical of ML papers.
+//   - Dror et al. (2017): replicability analysis — count datasets with a
+//     (Bonferroni-corrected) significant improvement; accept a method when
+//     it improves on all datasets.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/math/matrix.h"
+#include "src/stats/tests.h"
+
+namespace varbench::stats {
+
+struct FriedmanResult {
+  double chi_squared = 0.0;          // Friedman χ²_F statistic
+  double p_value = 1.0;              // χ² approximation, k-1 dof
+  double iman_davenport_f = 0.0;     // Iman–Davenport corrected statistic
+  std::vector<double> average_ranks; // per algorithm (1 = best)
+};
+
+/// Friedman test on a (datasets × algorithms) score matrix, higher = better.
+/// Requires >= 2 algorithms and >= 2 datasets.
+[[nodiscard]] FriedmanResult friedman_test(const math::Matrix& scores);
+
+/// Nemenyi critical difference for average ranks at alpha = 0.05:
+/// CD = q_{0.05,k} · sqrt(k(k+1) / (6N)). Supports k in [2, 10].
+[[nodiscard]] double nemenyi_critical_difference(std::size_t num_algorithms,
+                                                 std::size_t num_datasets);
+
+/// Algorithms whose average rank is within one critical difference of the
+/// best — the "top group" that cannot be distinguished from the winner.
+[[nodiscard]] std::vector<std::size_t> nemenyi_top_group(
+    const FriedmanResult& friedman, std::size_t num_datasets);
+
+struct ReplicabilityResult {
+  std::size_t significant_count = 0;  // datasets with corrected p < alpha
+  std::size_t dataset_count = 0;
+  bool improves_on_all = false;       // the Dror et al. acceptance criterion
+  std::vector<bool> significant;      // per dataset
+};
+
+/// Dror et al. (2017) counting analysis from per-dataset p-values, with
+/// Bonferroni correction across datasets.
+[[nodiscard]] ReplicabilityResult replicability_analysis(
+    std::span<const double> per_dataset_p_values, double alpha = 0.05);
+
+/// Wilcoxon signed-rank across datasets (Demšar's recommendation for two
+/// algorithms): a_i/b_i are the per-dataset scores of algorithms A and B.
+[[nodiscard]] TestResult wilcoxon_across_datasets(std::span<const double> a,
+                                                  std::span<const double> b);
+
+}  // namespace varbench::stats

@@ -1,0 +1,36 @@
+#include "src/stats/sample_size.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/stats/distributions.h"
+
+namespace varbench::stats {
+
+std::size_t noether_sample_size(double gamma, double alpha, double beta) {
+  if (!(gamma > 0.5 && gamma < 1.0)) {
+    throw std::invalid_argument("noether_sample_size: gamma must be in (0.5, 1)");
+  }
+  if (!(alpha > 0.0 && alpha < 1.0 && beta > 0.0 && beta < 1.0)) {
+    throw std::invalid_argument("noether_sample_size: alpha/beta in (0, 1)");
+  }
+  const double za = normal_quantile(1.0 - alpha);
+  const double zb = normal_quantile(beta);
+  const double denom = std::sqrt(6.0) * (0.5 - gamma);
+  const double n = (za - zb) / denom;
+  return static_cast<std::size_t>(std::ceil(n * n));
+}
+
+double noether_power(std::size_t n, double gamma, double alpha) {
+  if (n == 0) throw std::invalid_argument("noether_power: n == 0");
+  if (!(gamma > 0.5 && gamma < 1.0)) {
+    throw std::invalid_argument("noether_power: gamma must be in (0.5, 1)");
+  }
+  const double za = normal_quantile(1.0 - alpha);
+  // Invert N = ((za - zb)/(√6·(γ-½)))² for zb, then β = Φ(zb).
+  const double zb =
+      za - std::sqrt(static_cast<double>(n)) * std::sqrt(6.0) * (gamma - 0.5);
+  return 1.0 - normal_cdf(zb);
+}
+
+}  // namespace varbench::stats

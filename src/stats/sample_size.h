@@ -1,0 +1,21 @@
+// Sample-size planning for the P(A>B) test via Noether's (1987) formula
+// (paper Appendix C.3, Fig. C.1).
+#pragma once
+
+#include <cstddef>
+
+namespace varbench::stats {
+
+/// Minimum number of paired runs N to detect P(A>B) > gamma with
+/// false-positive rate alpha and false-negative rate beta:
+///   N >= ((Φ⁻¹(1−α) − Φ⁻¹(β)) / (√6·(½−γ)))²
+/// With the paper's recommended γ=0.75, α=0.05, β=0.05 this gives N = 29.
+[[nodiscard]] std::size_t noether_sample_size(double gamma, double alpha = 0.05,
+                                              double beta = 0.05);
+
+/// Statistical power (1 − β) achieved by N paired runs at threshold γ and
+/// level α — the inverse view of the formula above.
+[[nodiscard]] double noether_power(std::size_t n, double gamma,
+                                   double alpha = 0.05);
+
+}  // namespace varbench::stats

@@ -1,0 +1,119 @@
+#include "src/stats/shapiro_wilk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "src/stats/distributions.h"
+
+namespace varbench::stats {
+
+namespace {
+
+// poly(c, k, x) = c[0] + c[1]·x + … + c[k-1]·x^{k-1}.
+double poly(const double* coeffs, int k, double x) {
+  double v = coeffs[0];
+  double xp = 1.0;
+  for (int i = 1; i < k; ++i) {
+    xp *= x;
+    v += coeffs[i] * xp;
+  }
+  return v;
+}
+
+}  // namespace
+
+ShapiroWilkResult shapiro_wilk(std::span<const double> x) {
+  const std::size_t n = x.size();
+  if (n < 3 || n > 5000) {
+    throw std::invalid_argument("shapiro_wilk: n must be in [3, 5000]");
+  }
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.front() == sorted.back()) {
+    throw std::invalid_argument("shapiro_wilk: constant sample");
+  }
+
+  const auto an = static_cast<double>(n);
+  const std::size_t n2 = n / 2;
+
+  // Blom-approximated expected normal order statistics of the lower half;
+  // m[0] belongs to the sample minimum and is the most negative.
+  std::vector<double> m(n2, 0.0);
+  double summ2 = 0.0;
+  for (std::size_t i = 0; i < n2; ++i) {
+    m[i] = normal_quantile((static_cast<double>(i + 1) - 0.375) / (an + 0.25));
+    summ2 += m[i] * m[i];
+  }
+  summ2 *= 2.0;  // by symmetry (middle element of odd n is exactly 0)
+  const double ssumm2 = std::sqrt(summ2);
+  const double rsn = 1.0 / std::sqrt(an);
+
+  // Royston's corrections to the two extreme weights (AS R94).
+  static constexpr double c1[6] = {0.0,      0.221157, -0.147981,
+                                   -2.07119, 4.434685, -2.706056};
+  static constexpr double c2[6] = {0.0,      0.042981, -0.293762,
+                                   -1.752461, 5.682633, -3.582633};
+
+  // a[i] > 0 is applied antisymmetrically: numerator = Σ a_i (x_{(n-i)} - x_{(i+1)}).
+  std::vector<double> a(n2, 0.0);
+  const double a1 = poly(c1, 6, rsn) - m[0] / ssumm2;
+  std::size_t i1 = 1;  // first index filled from raw (scaled) m values
+  double fac = 1.0;
+  if (n > 5) {
+    i1 = 2;
+    const double a2 = poly(c2, 6, rsn) - m[1] / ssumm2;
+    fac = std::sqrt((summ2 - 2.0 * m[0] * m[0] - 2.0 * m[1] * m[1]) /
+                    (1.0 - 2.0 * a1 * a1 - 2.0 * a2 * a2));
+    a[0] = a1;
+    a[1] = a2;
+  } else if (n > 3) {
+    fac = std::sqrt((summ2 - 2.0 * m[0] * m[0]) / (1.0 - 2.0 * a1 * a1));
+    a[0] = a1;
+  } else {  // n == 3: exact weight
+    a[0] = std::numbers::sqrt2 / 2.0;
+  }
+  for (std::size_t i = i1; i < n2; ++i) a[i] = -m[i] / fac;
+
+  // W = (Σ a_i (x_{(n-i)} − x_{(i+1)}))² / Σ (x_j − x̄)².
+  double xbar = 0.0;
+  for (const double v : sorted) xbar += v;
+  xbar /= an;
+  double ssq = 0.0;
+  for (const double v : sorted) ssq += (v - xbar) * (v - xbar);
+  double num = 0.0;
+  for (std::size_t i = 0; i < n2; ++i) {
+    num += a[i] * (sorted[n - 1 - i] - sorted[i]);
+  }
+  const double w = std::min(num * num / ssq, 1.0);
+
+  // P-value via Royston's normalizing transformations.
+  if (n == 3) {
+    constexpr double pi6 = 1.90985931710274;   // 6/π
+    constexpr double stqr = 1.04719755119660;  // asin(√(3/4))
+    const double p = pi6 * (std::asin(std::sqrt(w)) - stqr);
+    return {w, std::clamp(p, 0.0, 1.0)};
+  }
+  double p = 1.0;
+  if (n <= 11) {
+    const double gamma = -2.273 + 0.459 * an;
+    const double y = -std::log(gamma - std::log1p(-w));
+    const double mu = 0.5440 - 0.39978 * an + 0.025054 * an * an -
+                      0.0006714 * an * an * an;
+    const double sigma = std::exp(1.3822 - 0.77857 * an + 0.062767 * an * an -
+                                  0.0020322 * an * an * an);
+    p = 1.0 - normal_cdf((y - mu) / sigma);
+  } else {
+    const double ln = std::log(an);
+    const double y = std::log1p(-w);
+    const double mu =
+        -1.5861 - 0.31082 * ln - 0.083751 * ln * ln + 0.0038915 * ln * ln * ln;
+    const double sigma = std::exp(-0.4803 - 0.082676 * ln + 0.0030302 * ln * ln);
+    p = 1.0 - normal_cdf((y - mu) / sigma);
+  }
+  return {w, std::clamp(p, 0.0, 1.0)};
+}
+
+}  // namespace varbench::stats

@@ -1,0 +1,19 @@
+// Shapiro–Wilk normality test (Royston 1995, algorithm AS R94).
+// The paper uses it (Appendix G, Fig. G.3) to justify the normality
+// assumption on performance distributions.
+#pragma once
+
+#include <span>
+
+namespace varbench::stats {
+
+struct ShapiroWilkResult {
+  double w_statistic = 1.0;
+  double p_value = 1.0;
+};
+
+/// Valid for 3 <= n <= 5000. Throws std::invalid_argument outside that range
+/// or if the sample is constant.
+[[nodiscard]] ShapiroWilkResult shapiro_wilk(std::span<const double> x);
+
+}  // namespace varbench::stats

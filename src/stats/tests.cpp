@@ -1,0 +1,168 @@
+#include "src/stats/tests.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "src/stats/descriptive.h"
+#include "src/stats/distributions.h"
+
+namespace varbench::stats {
+
+TestResult one_sample_t_test(std::span<const double> x, double mu0) {
+  if (x.size() < 2) throw std::invalid_argument("one_sample_t_test: n < 2");
+  const double se = standard_error(x);
+  if (se == 0.0) {
+    const bool equal = mean(x) == mu0;
+    return {equal ? 0.0 : std::numeric_limits<double>::infinity(),
+            equal ? 1.0 : 0.0};
+  }
+  const double t = (mean(x) - mu0) / se;
+  const auto nu = static_cast<double>(x.size() - 1);
+  return {t, student_t_two_sided_p(t, nu)};
+}
+
+TestResult welch_t_test(std::span<const double> a, std::span<const double> b) {
+  if (a.size() < 2 || b.size() < 2) {
+    throw std::invalid_argument("welch_t_test: n < 2");
+  }
+  const double va = variance(a) / static_cast<double>(a.size());
+  const double vb = variance(b) / static_cast<double>(b.size());
+  const double denom = std::sqrt(va + vb);
+  if (denom == 0.0) {
+    const bool equal = mean(a) == mean(b);
+    return {equal ? 0.0 : std::numeric_limits<double>::infinity(),
+            equal ? 1.0 : 0.0};
+  }
+  const double t = (mean(a) - mean(b)) / denom;
+  // Welch–Satterthwaite degrees of freedom.
+  const double nu =
+      (va + vb) * (va + vb) /
+      (va * va / static_cast<double>(a.size() - 1) +
+       vb * vb / static_cast<double>(b.size() - 1));
+  return {t, student_t_two_sided_p(t, nu)};
+}
+
+TestResult paired_t_test(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("paired_t_test: size mismatch");
+  }
+  std::vector<double> d(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) d[i] = a[i] - b[i];
+  return one_sample_t_test(d, 0.0);
+}
+
+TestResult z_test(double mean_a, double mean_b, double sigma_a, double sigma_b,
+                  std::size_t k) {
+  if (k == 0) throw std::invalid_argument("z_test: k == 0");
+  const double se =
+      std::sqrt((sigma_a * sigma_a + sigma_b * sigma_b) / static_cast<double>(k));
+  if (se == 0.0) {
+    const bool equal = mean_a == mean_b;
+    return {equal ? 0.0 : std::numeric_limits<double>::infinity(),
+            equal ? 1.0 : 0.0};
+  }
+  const double z = (mean_a - mean_b) / se;
+  return {z, 2.0 * normal_cdf(-std::abs(z))};
+}
+
+double z_test_minimum_detectable(double sigma_a, double sigma_b, std::size_t k,
+                                 double alpha) {
+  if (k == 0) throw std::invalid_argument("z_test_minimum_detectable: k == 0");
+  const double z = normal_quantile(1.0 - alpha);
+  return z * std::sqrt((sigma_a * sigma_a + sigma_b * sigma_b) /
+                       static_cast<double>(k));
+}
+
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b) {
+  const std::size_t na = a.size();
+  const std::size_t nb = b.size();
+  if (na == 0 || nb == 0) {
+    throw std::invalid_argument("mann_whitney_u: empty sample");
+  }
+  std::vector<double> pooled;
+  pooled.reserve(na + nb);
+  pooled.insert(pooled.end(), a.begin(), a.end());
+  pooled.insert(pooled.end(), b.begin(), b.end());
+  const auto r = ranks(pooled);
+  double rank_sum_a = 0.0;
+  for (std::size_t i = 0; i < na; ++i) rank_sum_a += r[i];
+  const double nad = static_cast<double>(na);
+  const double nbd = static_cast<double>(nb);
+  const double u_a = rank_sum_a - nad * (nad + 1.0) / 2.0;
+
+  // Tie correction for the variance of U.
+  const double n = nad + nbd;
+  std::vector<double> sorted(pooled);
+  std::sort(sorted.begin(), sorted.end());
+  double tie_term = 0.0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const auto t = static_cast<double>(j - i + 1);
+    tie_term += t * t * t - t;
+    i = j + 1;
+  }
+  const double mu_u = nad * nbd / 2.0;
+  const double var_u =
+      nad * nbd / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  double p = 1.0;
+  if (var_u > 0.0) {
+    // Continuity correction.
+    const double z = (std::abs(u_a - mu_u) - 0.5) / std::sqrt(var_u);
+    p = 2.0 * normal_cdf(-std::max(z, 0.0));
+  }
+  return {u_a, std::min(p, 1.0), u_a / (nad * nbd)};
+}
+
+TestResult wilcoxon_signed_rank(std::span<const double> a,
+                                std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("wilcoxon_signed_rank: size mismatch");
+  }
+  std::vector<double> abs_d;
+  std::vector<int> sign_d;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d == 0.0) continue;  // standard practice: drop zeros
+    abs_d.push_back(std::abs(d));
+    sign_d.push_back(d > 0.0 ? 1 : -1);
+  }
+  const std::size_t n = abs_d.size();
+  if (n == 0) return {0.0, 1.0};
+  const auto r = ranks(abs_d);
+  double w_plus = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sign_d[i] > 0) w_plus += r[i];
+  }
+  const double nd = static_cast<double>(n);
+  const double mu = nd * (nd + 1.0) / 4.0;
+  // Tie correction.
+  std::vector<double> sorted(abs_d);
+  std::sort(sorted.begin(), sorted.end());
+  double tie_term = 0.0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const auto t = static_cast<double>(j - i + 1);
+    tie_term += t * t * t - t;
+    i = j + 1;
+  }
+  const double var =
+      nd * (nd + 1.0) * (2.0 * nd + 1.0) / 24.0 - tie_term / 48.0;
+  if (var <= 0.0) return {w_plus, 1.0};
+  const double z = (std::abs(w_plus - mu) - 0.5) / std::sqrt(var);
+  return {w_plus, std::min(1.0, 2.0 * normal_cdf(-std::max(z, 0.0)))};
+}
+
+double bonferroni_alpha(double alpha, std::size_t m) {
+  if (m == 0) throw std::invalid_argument("bonferroni_alpha: m == 0");
+  return alpha / static_cast<double>(m);
+}
+
+}  // namespace varbench::stats

@@ -1,0 +1,59 @@
+// Classical hypothesis tests used in benchmark comparisons:
+// t-tests, z-test, Mann–Whitney U, Wilcoxon signed-rank.
+#pragma once
+
+#include <span>
+
+namespace varbench::stats {
+
+struct TestResult {
+  double statistic = 0.0;
+  double p_value = 1.0;  // two-sided unless stated otherwise
+
+  friend bool operator==(const TestResult&, const TestResult&) = default;
+};
+
+/// One-sample t-test of H0: mean(x) == mu0.
+[[nodiscard]] TestResult one_sample_t_test(std::span<const double> x,
+                                           double mu0);
+
+/// Welch's two-sample t-test of H0: mean(a) == mean(b) (unequal variances).
+[[nodiscard]] TestResult welch_t_test(std::span<const double> a,
+                                      std::span<const double> b);
+
+/// Paired t-test of H0: mean(a - b) == 0.
+[[nodiscard]] TestResult paired_t_test(std::span<const double> a,
+                                       std::span<const double> b);
+
+/// Two-sample z-test with known standard deviations.
+[[nodiscard]] TestResult z_test(double mean_a, double mean_b, double sigma_a,
+                                double sigma_b, std::size_t k);
+
+/// Minimum detectable difference at level alpha for a two-sample z-test
+/// over k paired measurements: z_{1-α}·√((σA²+σB²)/k) — §3.1's detectability
+/// bound.
+[[nodiscard]] double z_test_minimum_detectable(double sigma_a, double sigma_b,
+                                               std::size_t k, double alpha);
+
+struct MannWhitneyResult {
+  double u_statistic = 0.0;   // U for sample A
+  double p_value = 1.0;       // two-sided, normal approximation
+  double prob_a_greater = 0.5;  // U / (nA·nB): estimate of P(A > B)
+};
+
+/// Mann–Whitney U test with tie correction (normal approximation).
+/// `prob_a_greater` is the common-language effect size U/(nA·nB), the
+/// quantity the paper's P(A>B) criterion builds on (Perme & Manevski 2019).
+[[nodiscard]] MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                               std::span<const double> b);
+
+/// Wilcoxon signed-rank test for paired samples (normal approximation,
+/// zero-differences dropped) — the Demšar (2006) recommendation discussed
+/// in §6 for cross-dataset comparisons.
+[[nodiscard]] TestResult wilcoxon_signed_rank(std::span<const double> a,
+                                              std::span<const double> b);
+
+/// Bonferroni-corrected significance level for m comparisons (§6).
+[[nodiscard]] double bonferroni_alpha(double alpha, std::size_t m);
+
+}  // namespace varbench::stats

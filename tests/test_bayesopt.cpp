@@ -1,0 +1,94 @@
+#include "src/hpo/bayesopt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace varbench::hpo {
+namespace {
+
+double bowl(const ParamPoint& p) {
+  const double a = p.at("x") - 0.3;
+  const double b = p.at("y") - 0.7;
+  return a * a + b * b;
+}
+
+SearchSpace unit_square() {
+  SearchSpace s;
+  s.add({"x", 0.0, 1.0}).add({"y", 0.0, 1.0});
+  return s;
+}
+
+TEST(ExpectedImprovement, ZeroWhenCertainAndWorse) {
+  EXPECT_DOUBLE_EQ(expected_improvement(1.0, 0.0, 0.5, 0.0), 0.0);
+}
+
+TEST(ExpectedImprovement, PositiveWhenCertainAndBetter) {
+  EXPECT_DOUBLE_EQ(expected_improvement(0.2, 0.0, 0.5, 0.0), 0.3);
+}
+
+TEST(ExpectedImprovement, GrowsWithUncertainty) {
+  const double low = expected_improvement(0.6, 0.01, 0.5, 0.0);
+  const double high = expected_improvement(0.6, 1.0, 0.5, 0.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(ExpectedImprovement, AlwaysNonNegative) {
+  for (double mean = -1.0; mean <= 1.0; mean += 0.25) {
+    for (double var = 0.0; var <= 2.0; var += 0.5) {
+      EXPECT_GE(expected_improvement(mean, var, 0.0, 0.01), 0.0);
+    }
+  }
+}
+
+TEST(BayesOpt, BeatsItsOwnInitialDesign) {
+  rngx::Rng rng{1};
+  BayesOptConfig cfg;
+  cfg.initial_random = 5;
+  const BayesianOptimization algo{cfg};
+  const auto r = algo.optimize(unit_square(), bowl, 30, rng);
+  ASSERT_EQ(r.trials.size(), 30u);
+  double best_initial = r.trials[0].objective;
+  for (std::size_t i = 1; i < cfg.initial_random; ++i) {
+    best_initial = std::min(best_initial, r.trials[i].objective);
+  }
+  EXPECT_LT(r.best_objective, best_initial);
+  EXPECT_LT(r.best_objective, 0.02);
+}
+
+TEST(BayesOpt, OutperformsRandomSearchOnSmoothBowl) {
+  // Average best objective over seeds: BO should beat random search at
+  // equal budget on this easy smooth problem.
+  double bo_total = 0.0;
+  double rs_total = 0.0;
+  constexpr int rounds = 5;
+  constexpr std::size_t budget = 25;
+  const BayesianOptimization bo;
+  const RandomSearch rs{/*enlarge_bounds=*/false};
+  for (int i = 0; i < rounds; ++i) {
+    rngx::Rng r1{100u + i};
+    rngx::Rng r2{100u + i};
+    bo_total += bo.optimize(unit_square(), bowl, budget, r1).best_objective;
+    rs_total += rs.optimize(unit_square(), bowl, budget, r2).best_objective;
+  }
+  EXPECT_LT(bo_total, rs_total);
+}
+
+TEST(BayesOpt, SeedDeterminism) {
+  const BayesianOptimization algo;
+  rngx::Rng r1{7};
+  rngx::Rng r2{7};
+  const auto a = algo.optimize(unit_square(), bowl, 15, r1);
+  const auto b = algo.optimize(unit_square(), bowl, 15, r2);
+  EXPECT_DOUBLE_EQ(a.best_objective, b.best_objective);
+}
+
+TEST(BayesOpt, BudgetSmallerThanInitialDesign) {
+  const BayesianOptimization algo;
+  rngx::Rng rng{8};
+  const auto r = algo.optimize(unit_square(), bowl, 3, rng);
+  EXPECT_EQ(r.trials.size(), 3u);
+}
+
+}  // namespace
+}  // namespace varbench::hpo

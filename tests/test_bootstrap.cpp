@@ -1,0 +1,121 @@
+#include "src/stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "src/stats/descriptive.h"
+
+namespace varbench::stats {
+namespace {
+
+TEST(BootstrapResample, SizeAndMembership) {
+  rngx::Rng rng{1};
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const auto r = bootstrap_resample(x, rng);
+  EXPECT_EQ(r.size(), 3u);
+  for (const double v : r) {
+    EXPECT_TRUE(v == 1.0 || v == 2.0 || v == 3.0);
+  }
+}
+
+TEST(PercentileBootstrapCi, ContainsSampleMean) {
+  rngx::Rng rng{2};
+  std::vector<double> x(200);
+  rngx::Rng data_rng{3};
+  for (double& v : x) v = data_rng.normal(10.0, 2.0);
+  const auto ci = percentile_bootstrap_ci(
+      x, [](std::span<const double> s) { return mean(s); }, rng, 2000);
+  EXPECT_LT(ci.lower, mean(x));
+  EXPECT_GT(ci.upper, mean(x));
+  EXPECT_DOUBLE_EQ(ci.level, 0.95);
+}
+
+TEST(PercentileBootstrapCi, WidthMatchesTheory) {
+  // For the mean of n normal draws, the 95% CI width should be close to
+  // 2·1.96·σ/√n.
+  rngx::Rng rng{4};
+  std::vector<double> x(400);
+  rngx::Rng data_rng{5};
+  for (double& v : x) v = data_rng.normal(0.0, 1.0);
+  const auto ci = percentile_bootstrap_ci(
+      x, [](std::span<const double> s) { return mean(s); }, rng, 4000);
+  const double width = ci.upper - ci.lower;
+  const double theory = 2.0 * 1.96 / 20.0;  // σ=1, √n=20
+  EXPECT_NEAR(width, theory, theory * 0.25);
+}
+
+TEST(PercentileBootstrapCi, CoverageNearNominal) {
+  // Property check: ~95% of CIs should contain the true mean.
+  rngx::Rng master{6};
+  int covered = 0;
+  constexpr int rounds = 200;
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<double> x(60);
+    for (double& v : x) v = master.normal(3.0, 1.0);
+    auto ci_rng = master.split("ci");
+    const auto ci = percentile_bootstrap_ci(
+        x, [](std::span<const double> s) { return mean(s); }, ci_rng, 500);
+    if (ci.lower <= 3.0 && 3.0 <= ci.upper) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / rounds;
+  EXPECT_GT(coverage, 0.88);
+  EXPECT_LE(coverage, 1.0);
+}
+
+TEST(PercentileBootstrapCi, AlphaControlsWidth) {
+  rngx::Rng rng1{7};
+  rngx::Rng rng2{7};
+  std::vector<double> x(100);
+  rngx::Rng data_rng{8};
+  for (double& v : x) v = data_rng.normal();
+  const auto wide = percentile_bootstrap_ci(
+      x, [](std::span<const double> s) { return mean(s); }, rng1, 2000, 0.01);
+  const auto narrow = percentile_bootstrap_ci(
+      x, [](std::span<const double> s) { return mean(s); }, rng2, 2000, 0.20);
+  EXPECT_GT(wide.upper - wide.lower, narrow.upper - narrow.lower);
+}
+
+TEST(PercentileBootstrapCi, EmptyThrows) {
+  rngx::Rng rng{1};
+  const std::vector<double> empty;
+  EXPECT_THROW((void)percentile_bootstrap_ci(
+                   empty, [](std::span<const double>) { return 0.0; }, rng),
+               std::invalid_argument);
+}
+
+TEST(PairedPercentileBootstrapCi, PreservesPairing) {
+  // Statistic = mean difference. With perfectly paired data (b = a - 1),
+  // the paired CI must be degenerate at exactly 1.0.
+  rngx::Rng rng{9};
+  std::vector<double> a(50);
+  std::vector<double> b(50);
+  rngx::Rng data_rng{10};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = data_rng.normal(0.0, 5.0);
+    b[i] = a[i] - 1.0;
+  }
+  const auto ci = paired_percentile_bootstrap_ci(
+      a, b,
+      [](std::span<const double> ra, std::span<const double> rb) {
+        double d = 0.0;
+        for (std::size_t i = 0; i < ra.size(); ++i) d += ra[i] - rb[i];
+        return d / static_cast<double>(ra.size());
+      },
+      rng, 500);
+  EXPECT_NEAR(ci.lower, 1.0, 1e-9);
+  EXPECT_NEAR(ci.upper, 1.0, 1e-9);
+}
+
+TEST(PairedPercentileBootstrapCi, MismatchedSizesThrow) {
+  rngx::Rng rng{1};
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW(
+      (void)paired_percentile_bootstrap_ci(
+          a, b,
+          [](std::span<const double>, std::span<const double>) { return 0.0; },
+          rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace varbench::stats

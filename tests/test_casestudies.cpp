@@ -1,0 +1,160 @@
+#include "src/casestudies/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/casestudies/calibration.h"
+#include "src/core/pipeline.h"
+
+namespace varbench::casestudies {
+namespace {
+
+TEST(Registry, AllIdsConstruct) {
+  for (const auto& id : case_study_ids()) {
+    const auto cs = make_case_study(id, 0.1);
+    EXPECT_EQ(cs.id, id);
+    EXPECT_FALSE(cs.pool->empty());
+    EXPECT_NE(cs.splitter, nullptr);
+    EXPECT_NE(cs.pipeline, nullptr);
+    EXPECT_GT(cs.paper_test_size, 0u);
+  }
+}
+
+TEST(Registry, UnknownIdThrows) {
+  EXPECT_THROW((void)make_case_study("nope", 1.0), std::invalid_argument);
+}
+
+TEST(Registry, BadScaleThrows) {
+  EXPECT_THROW((void)make_case_study("mhc_mlp", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)make_case_study("mhc_mlp", 1.5), std::invalid_argument);
+}
+
+TEST(Registry, PoolIsDeterministic) {
+  const auto a = make_case_study("cifar10_vgg11", 0.1);
+  const auto b = make_case_study("cifar10_vgg11", 0.1);
+  EXPECT_EQ(a.pool->y, b.pool->y);
+  EXPECT_EQ(a.pool->x, b.pool->x);
+}
+
+TEST(Registry, ScaleShrinksPool) {
+  const auto small = make_case_study("cifar10_vgg11", 0.1);
+  const auto large = make_case_study("cifar10_vgg11", 1.0);
+  EXPECT_LT(small.pool->size(), large.pool->size());
+}
+
+TEST(Registry, DefaultsLieInSearchSpace) {
+  for (const auto& id : case_study_ids()) {
+    const auto cs = make_case_study(id, 0.1);
+    EXPECT_TRUE(
+        cs.pipeline->search_space().contains(cs.pipeline->default_params()))
+        << id;
+  }
+}
+
+TEST(Registry, MakeAllReturnsFive) {
+  EXPECT_EQ(make_all_case_studies(0.1).size(), 5u);
+}
+
+// Every case study must run end-to-end with default hyperparameters and
+// produce a sane metric value.
+class CaseStudyEndToEnd : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CaseStudyEndToEnd, DefaultRunInRange) {
+  const auto cs = make_case_study(GetParam(), 0.15);
+  const rngx::VariationSeeds seeds;
+  const core::HpoRunConfig cfg;  // defaults
+  const double perf = core::run_pipeline_once(*cs.pipeline, *cs.pool,
+                                              *cs.splitter, cfg, seeds);
+  EXPECT_GT(perf, 0.0) << GetParam();
+  EXPECT_LE(perf, 1.0) << GetParam();
+}
+
+TEST_P(CaseStudyEndToEnd, BetterThanChance) {
+  const auto cs = make_case_study(GetParam(), 0.15);
+  const rngx::VariationSeeds seeds;
+  const core::HpoRunConfig cfg;
+  const double perf = core::run_pipeline_once(*cs.pipeline, *cs.pool,
+                                              *cs.splitter, cfg, seeds);
+  // Chance levels: accuracy 1/C, mIoU low, AUC 0.5.
+  const double chance =
+      cs.pipeline->metric() == ml::Metric::kAuc
+          ? 0.5
+          : 1.0 / static_cast<double>(std::max<std::size_t>(
+                      cs.pool->num_classes, 2));
+  EXPECT_GT(perf, chance + 0.05) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCaseStudies, CaseStudyEndToEnd,
+                         ::testing::ValuesIn(case_study_ids()));
+
+TEST(MlpPipelineSpecifics, ResolveConfigAppliesParams) {
+  const auto cs = make_case_study("cifar10_vgg11", 0.1);
+  const auto cfg = cs.pipeline->resolve_config({{"learning_rate", 0.05},
+                                                {"weight_decay", 0.01},
+                                                {"momentum", 0.8},
+                                                {"lr_gamma", 0.98}});
+  EXPECT_DOUBLE_EQ(cfg.opt.learning_rate, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.opt.weight_decay, 0.01);
+  EXPECT_DOUBLE_EQ(cfg.opt.momentum, 0.8);
+  EXPECT_DOUBLE_EQ(cfg.opt.lr_gamma, 0.98);
+}
+
+TEST(MlpPipelineSpecifics, ResolveConfigHiddenAndUnknown) {
+  const auto cs = make_case_study("mhc_mlp", 0.1);
+  const auto cfg = cs.pipeline->resolve_config(
+      {{"hidden", 37.0}, {"weight_decay", 0.1}});
+  ASSERT_EQ(cfg.model.hidden.size(), 1u);
+  EXPECT_EQ(cfg.model.hidden[0], 37u);
+  EXPECT_THROW((void)cs.pipeline->resolve_config({{"bogus", 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)cs.pipeline->resolve_config({{"learning_rate", -1.0}}),
+               std::invalid_argument);
+}
+
+TEST(Calibration, AllRegistryIdsCovered) {
+  for (const auto& id : case_study_ids()) {
+    EXPECT_NO_THROW((void)calibration_for(id));
+  }
+  EXPECT_THROW((void)calibration_for("nope"), std::invalid_argument);
+}
+
+TEST(Calibration, RhoOrderingMatchesPaper) {
+  // Fig. 5/H.4: randomizing more sources decorrelates measurements, so
+  // ρ_all <= ρ_data <= ρ_init on every task.
+  for (const auto& c : paper_calibrations()) {
+    EXPECT_LE(c.rho_all, c.rho_data) << c.id;
+    EXPECT_LE(c.rho_data, c.rho_init) << c.id;
+    EXPECT_GT(c.sigma_ideal, 0.0) << c.id;
+  }
+}
+
+TEST(Calibration, ProfileVariancesDecompose) {
+  const auto& c = calibration_for("glue_rte_bert");
+  const auto p = c.profile(core::RandomizeSubset::kAll);
+  // σ_bias² + σ_within² = σ_ideal² by construction.
+  EXPECT_NEAR(p.sigma_bias * p.sigma_bias + p.sigma_within * p.sigma_within,
+              c.sigma_ideal * c.sigma_ideal, 1e-12);
+  const auto ideal = c.ideal_profile();
+  EXPECT_DOUBLE_EQ(ideal.sigma_bias, 0.0);
+}
+
+TEST(Sota, SeriesAreMonotoneAndPlausible) {
+  for (const auto& s : sota_series()) {
+    ASSERT_GE(s.points.size(), 2u) << s.task;
+    for (std::size_t i = 1; i < s.points.size(); ++i) {
+      EXPECT_GE(s.points[i].accuracy, s.points[i - 1].accuracy) << s.task;
+      EXPECT_GE(s.points[i].year, s.points[i - 1].year) << s.task;
+    }
+    EXPECT_GT(s.benchmark_sigma, 0.0);
+    EXPECT_GT(mean_improvement(s), 0.0);
+  }
+}
+
+TEST(Sota, MeanImprovementMatchesHandComputation) {
+  SotaSeries s;
+  s.task = "demo";
+  s.points = {{2000, 0.5}, {2001, 0.6}, {2002, 0.8}};
+  EXPECT_NEAR(mean_improvement(s), 0.15, 1e-12);
+}
+
+}  // namespace
+}  // namespace varbench::casestudies

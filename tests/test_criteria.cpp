@@ -1,0 +1,98 @@
+#include "src/compare/criteria.h"
+
+#include <gtest/gtest.h>
+
+namespace varbench::compare {
+namespace {
+
+std::vector<double> shifted(std::size_t n, double mu, double sigma,
+                            rngx::Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.normal(mu, sigma);
+  return v;
+}
+
+TEST(SinglePoint, UsesOnlyFirstElement) {
+  rngx::Rng rng{1};
+  const SinglePointComparison c{0.1};
+  EXPECT_TRUE(c.detects(std::vector<double>{1.0, -99.0},
+                        std::vector<double>{0.0, 99.0}, rng));
+  EXPECT_FALSE(c.detects(std::vector<double>{0.05}, std::vector<double>{0.0},
+                         rng));
+}
+
+TEST(Average, ThresholdRespected) {
+  rngx::Rng rng{2};
+  const AverageComparison c{0.5};
+  const std::vector<double> a{1.0, 1.2, 0.8};
+  const std::vector<double> b{0.2, 0.4, 0.3};
+  EXPECT_TRUE(c.detects(a, b, rng));  // mean diff = 0.7 > 0.5
+  const AverageComparison strict{0.8};
+  EXPECT_FALSE(strict.detects(a, b, rng));
+}
+
+TEST(ProbOutperform, DetectsClearWinner) {
+  rngx::Rng data{3};
+  const auto a = shifted(50, 1.0, 0.2, data);
+  const auto b = shifted(50, 0.0, 0.2, data);
+  rngx::Rng rng{4};
+  const ProbOutperformCriterion c;
+  EXPECT_TRUE(c.detects(a, b, rng));
+}
+
+TEST(ProbOutperform, IgnoresTinyMeaninglessShift) {
+  rngx::Rng data{5};
+  const auto a = shifted(2000, 0.05, 1.0, data);
+  const auto b = shifted(2000, 0.0, 1.0, data);
+  rngx::Rng rng{6};
+  const ProbOutperformCriterion c{0.75, 300};
+  EXPECT_FALSE(c.detects(a, b, rng));  // significant maybe, meaningful no
+}
+
+TEST(Oracle, ControlsAlphaUnderNull) {
+  rngx::Rng master{7};
+  const OracleComparison oracle{1.0, 0.05};
+  int detections = 0;
+  constexpr int rounds = 1000;
+  for (int i = 0; i < rounds; ++i) {
+    const auto a = shifted(20, 0.0, 1.0, master);
+    const auto b = shifted(20, 0.0, 1.0, master);
+    if (oracle.detects(a, b, master)) ++detections;
+  }
+  EXPECT_NEAR(static_cast<double>(detections) / rounds, 0.05, 0.025);
+}
+
+TEST(Oracle, NearPerfectPowerForLargeShift) {
+  rngx::Rng master{8};
+  const OracleComparison oracle{1.0, 0.05};
+  int detections = 0;
+  constexpr int rounds = 200;
+  for (int i = 0; i < rounds; ++i) {
+    const auto a = shifted(20, 2.0, 1.0, master);
+    const auto b = shifted(20, 0.0, 1.0, master);
+    if (oracle.detects(a, b, master)) ++detections;
+  }
+  EXPECT_GT(static_cast<double>(detections) / rounds, 0.99);
+}
+
+TEST(Criteria, NamesAreStable) {
+  EXPECT_EQ(SinglePointComparison{0.1}.name(), "single_point");
+  EXPECT_EQ(AverageComparison{0.1}.name(), "average");
+  EXPECT_EQ(ProbOutperformCriterion{}.name(), "prob_outperforming");
+  EXPECT_EQ((OracleComparison{1.0}).name(), "oracle");
+}
+
+TEST(Criteria, EmptyInputsThrow) {
+  rngx::Rng rng{9};
+  const std::vector<double> empty;
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)SinglePointComparison{0.0}.detects(empty, one, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)AverageComparison{0.0}.detects(empty, one, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)OracleComparison{1.0}.detects(one, empty, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace varbench::compare

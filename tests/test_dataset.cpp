@@ -1,0 +1,95 @@
+#include "src/ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace varbench::ml {
+namespace {
+
+Dataset small_classification() {
+  Dataset d;
+  d.kind = TaskKind::kClassification;
+  d.num_classes = 2;
+  d.x = math::Matrix{{0.0, 1.0}, {2.0, 3.0}, {4.0, 5.0}};
+  d.y = {0.0, 1.0, 0.0};
+  return d;
+}
+
+TEST(Dataset, SizeAndDim) {
+  const auto d = small_classification();
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.dim(), 2u);
+  EXPECT_FALSE(d.empty());
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  const auto d = small_classification();
+  const std::vector<std::size_t> idx{2, 0};
+  const auto s = subset(d, idx);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.x(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(s.x(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(s.y[0], 0.0);
+  EXPECT_EQ(s.num_classes, 2u);
+}
+
+TEST(Dataset, SubsetAllowsDuplicates) {
+  const auto d = small_classification();
+  const std::vector<std::size_t> idx{1, 1, 1};
+  const auto s = subset(d, idx);
+  EXPECT_EQ(s.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(s.y[i], 1.0);
+}
+
+TEST(Dataset, SubsetOutOfRangeThrows) {
+  const auto d = small_classification();
+  const std::vector<std::size_t> idx{5};
+  EXPECT_THROW((void)subset(d, idx), std::out_of_range);
+}
+
+TEST(Dataset, LabelOf) {
+  const auto d = small_classification();
+  EXPECT_EQ(label_of(d, 1), 1u);
+  Dataset reg;
+  reg.kind = TaskKind::kRegression;
+  reg.x = math::Matrix{1, 1};
+  reg.y = {0.5};
+  EXPECT_THROW((void)label_of(reg, 0), std::invalid_argument);
+}
+
+TEST(Dataset, IndicesByClass) {
+  const auto d = small_classification();
+  const auto by_class = indices_by_class(d);
+  ASSERT_EQ(by_class.size(), 2u);
+  EXPECT_EQ(by_class[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(by_class[1], (std::vector<std::size_t>{1}));
+}
+
+TEST(Dataset, ValidateAcceptsGoodData) {
+  EXPECT_NO_THROW(validate(small_classification()));
+}
+
+TEST(Dataset, ValidateRejectsShapeMismatch) {
+  auto d = small_classification();
+  d.y.pop_back();
+  EXPECT_THROW(validate(d), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateRejectsBadLabels) {
+  auto d = small_classification();
+  d.y[0] = 5.0;  // out of range
+  EXPECT_THROW(validate(d), std::invalid_argument);
+  d.y[0] = 0.5;  // not an integer
+  EXPECT_THROW(validate(d), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateRejectsRegressionWithClasses) {
+  Dataset d;
+  d.kind = TaskKind::kRegression;
+  d.num_classes = 3;
+  d.x = math::Matrix{1, 1};
+  d.y = {0.5};
+  EXPECT_THROW(validate(d), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace varbench::ml

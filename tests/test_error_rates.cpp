@@ -1,0 +1,127 @@
+#include "src/compare/error_rates.h"
+
+#include <gtest/gtest.h>
+
+namespace varbench::compare {
+namespace {
+
+TaskVarianceProfile demo_profile() {
+  TaskVarianceProfile p;
+  p.task = "demo";
+  p.mu = 0.8;
+  p.sigma_ideal = 0.02;
+  p.sigma_bias = 0.008;
+  p.sigma_within = 0.018;
+  return p;
+}
+
+std::vector<std::unique_ptr<ComparisonCriterion>> demo_criteria(
+    const TaskVarianceProfile& p) {
+  std::vector<std::unique_ptr<ComparisonCriterion>> out;
+  const double delta = published_improvement_delta(p.sigma_ideal);
+  out.push_back(std::make_unique<OracleComparison>(p.sigma_ideal));
+  out.push_back(std::make_unique<SinglePointComparison>(delta));
+  out.push_back(std::make_unique<AverageComparison>(delta));
+  out.push_back(std::make_unique<ProbOutperformCriterion>(0.75, 100));
+  return out;
+}
+
+TEST(DetectionRates, GridAndShape) {
+  const auto p = demo_profile();
+  const auto criteria = demo_criteria(p);
+  DetectionRateConfig cfg;
+  cfg.k = 20;
+  cfg.simulations = 30;
+  rngx::Rng rng{1};
+  const auto curves = characterize_detection_rates(p, EstimatorKind::kIdeal,
+                                                   criteria, cfg, rng);
+  EXPECT_FALSE(curves.p_grid.empty());
+  EXPECT_EQ(curves.rates.size(), 4u);
+  for (const auto& [name, rates] : curves.rates) {
+    EXPECT_EQ(rates.size(), curves.p_grid.size()) << name;
+    for (const double r : rates) {
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+TEST(DetectionRates, OracleRisesWithTrueEffect) {
+  const auto p = demo_profile();
+  std::vector<std::unique_ptr<ComparisonCriterion>> criteria;
+  criteria.push_back(std::make_unique<OracleComparison>(p.sigma_ideal));
+  DetectionRateConfig cfg;
+  cfg.k = 10;  // small k so power at P=0.75 is not yet saturated
+  cfg.simulations = 80;
+  cfg.p_grid = {0.5, 0.75, 0.99};
+  rngx::Rng rng{2};
+  const auto curves = characterize_detection_rates(p, EstimatorKind::kIdeal,
+                                                   criteria, cfg, rng);
+  const auto& r = curves.rates.at("oracle");
+  EXPECT_LT(r[0], 0.2);   // ≈ α at the null
+  EXPECT_GT(r[2], 0.95);  // near-perfect power for huge effects
+  EXPECT_LT(r[0], r[1]);
+  EXPECT_LE(r[1], r[2]);
+}
+
+TEST(DetectionRates, AverageIsConservative) {
+  // Fig. 6: the δ-thresholded average has low FP at the null AND high FN in
+  // the meaningful region (compared to the oracle).
+  const auto p = demo_profile();
+  std::vector<std::unique_ptr<ComparisonCriterion>> criteria;
+  const double delta = published_improvement_delta(p.sigma_ideal);
+  criteria.push_back(std::make_unique<AverageComparison>(delta));
+  criteria.push_back(std::make_unique<OracleComparison>(p.sigma_ideal));
+  DetectionRateConfig cfg;
+  cfg.k = 50;
+  cfg.simulations = 80;
+  cfg.p_grid = {0.5, 0.85};
+  rngx::Rng rng{3};
+  const auto curves = characterize_detection_rates(p, EstimatorKind::kIdeal,
+                                                   criteria, cfg, rng);
+  EXPECT_LT(curves.rates.at("average")[0], 0.05 + 0.06);
+  EXPECT_LT(curves.rates.at("average")[1], curves.rates.at("oracle")[1]);
+}
+
+TEST(DetectionRates, SinglePointNoisierThanAverage) {
+  // Single-point comparison has strictly more false positives at the null.
+  const auto p = demo_profile();
+  std::vector<std::unique_ptr<ComparisonCriterion>> criteria;
+  const double delta = published_improvement_delta(p.sigma_ideal);
+  criteria.push_back(std::make_unique<SinglePointComparison>(delta));
+  criteria.push_back(std::make_unique<AverageComparison>(delta));
+  DetectionRateConfig cfg;
+  cfg.k = 50;
+  cfg.simulations = 300;
+  cfg.p_grid = {0.5};
+  rngx::Rng rng{4};
+  const auto curves = characterize_detection_rates(p, EstimatorKind::kIdeal,
+                                                   criteria, cfg, rng);
+  EXPECT_GT(curves.rates.at("single_point")[0],
+            curves.rates.at("average")[0]);
+}
+
+TEST(ClassifyRegion, ThreeZones) {
+  EXPECT_EQ(classify_region(0.45, 0.75), TruthRegion::kH0);
+  EXPECT_EQ(classify_region(0.5, 0.75), TruthRegion::kH0);
+  EXPECT_EQ(classify_region(0.6, 0.75), TruthRegion::kIntermediate);
+  EXPECT_EQ(classify_region(0.75, 0.75), TruthRegion::kIntermediate);
+  EXPECT_EQ(classify_region(0.9, 0.75), TruthRegion::kH1);
+}
+
+TEST(PublishedImprovementDelta, PaperCoefficient) {
+  EXPECT_NEAR(published_improvement_delta(0.01), 0.019952, 1e-9);
+}
+
+TEST(DetectionRates, NoCriteriaThrows) {
+  const auto p = demo_profile();
+  const std::vector<std::unique_ptr<ComparisonCriterion>> empty;
+  DetectionRateConfig cfg;
+  rngx::Rng rng{5};
+  EXPECT_THROW((void)characterize_detection_rates(p, EstimatorKind::kIdeal,
+                                                  empty, cfg, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace varbench::compare

@@ -1,0 +1,90 @@
+#include "src/compare/fixed_models.h"
+
+#include <gtest/gtest.h>
+
+namespace varbench::compare {
+namespace {
+
+std::vector<double> correctness(std::size_t n, double accuracy,
+                                rngx::Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.bernoulli(accuracy) ? 1.0 : 0.0;
+  return v;
+}
+
+TEST(FixedModels, ClearlyBetterModelDetected) {
+  rngx::Rng rng{1};
+  const auto a = correctness(2000, 0.9, rng);
+  const auto b = correctness(2000, 0.7, rng);
+  auto cmp_rng = rng.split("cmp");
+  const auto r = compare_fixed_models(a, b, cmp_rng);
+  EXPECT_EQ(r.conclusion,
+            stats::ComparisonConclusion::kSignificantAndMeaningful);
+  EXPECT_GT(r.p_a_greater_b, 0.99);
+  EXPECT_GT(r.ci.lower, 0.0);
+  EXPECT_NEAR(r.mean_a, 0.9, 0.03);
+}
+
+TEST(FixedModels, EqualModelsNotSignificant) {
+  rngx::Rng rng{2};
+  const auto a = correctness(500, 0.8, rng);
+  const auto b = correctness(500, 0.8, rng);
+  auto cmp_rng = rng.split("cmp");
+  const auto r = compare_fixed_models(a, b, cmp_rng);
+  EXPECT_NE(r.conclusion,
+            stats::ComparisonConclusion::kSignificantAndMeaningful);
+}
+
+TEST(FixedModels, IdenticalPredictionsGiveHalf) {
+  rngx::Rng rng{3};
+  const auto a = correctness(300, 0.8, rng);
+  auto cmp_rng = rng.split("cmp");
+  const auto r = compare_fixed_models(a, a, cmp_rng);
+  EXPECT_DOUBLE_EQ(r.p_a_greater_b, 0.5);
+  EXPECT_EQ(r.conclusion, stats::ComparisonConclusion::kNotSignificant);
+}
+
+TEST(FixedModels, SmallTestSetHidesSmallDifference) {
+  // The paper's Fig. 2 lesson at model level: on a tiny test set, a 2-point
+  // accuracy edge is indistinguishable from noise.
+  rngx::Rng rng{4};
+  const auto a = correctness(100, 0.82, rng);
+  const auto b = correctness(100, 0.80, rng);
+  auto cmp_rng = rng.split("cmp");
+  const auto r = compare_fixed_models(a, b, cmp_rng);
+  EXPECT_NE(r.conclusion,
+            stats::ComparisonConclusion::kSignificantAndMeaningful);
+}
+
+TEST(FixedModels, LargeTestSetRevealsSmallDifference) {
+  rngx::Rng rng{5};
+  const auto a = correctness(100000, 0.82, rng);
+  const auto b = correctness(100000, 0.80, rng);
+  auto cmp_rng = rng.split("cmp");
+  const auto r = compare_fixed_models(a, b, cmp_rng, 0.75, 500);
+  EXPECT_TRUE(r.ci.lower > 0.0);  // significant at n = 100k
+}
+
+TEST(FixedModels, CiBracketsMeanDifference) {
+  rngx::Rng rng{6};
+  const auto a = correctness(1000, 0.85, rng);
+  const auto b = correctness(1000, 0.75, rng);
+  auto cmp_rng = rng.split("cmp");
+  const auto r = compare_fixed_models(a, b, cmp_rng);
+  const double diff = r.mean_a - r.mean_b;
+  EXPECT_LE(r.ci.lower, diff);
+  EXPECT_GE(r.ci.upper, diff);
+}
+
+TEST(FixedModels, BadInputsThrow) {
+  rngx::Rng rng{7};
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 0.0};
+  EXPECT_THROW((void)compare_fixed_models(a, b, rng), std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)compare_fixed_models(empty, empty, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace varbench::compare

@@ -1,0 +1,142 @@
+#include "src/math/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace varbench::math {
+namespace {
+
+TEST(Matrix, DefaultConstructedIsEmpty) {
+  const Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor) {
+  const Matrix m{2, 3, 1.5};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerListAndAccess) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, RaggedInitializerListThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, DataVectorSizeMismatchThrows) {
+  EXPECT_THROW((Matrix{2, 2, std::vector<double>{1.0, 2.0, 3.0}}),
+               std::invalid_argument);
+}
+
+TEST(Matrix, AdditionSubtraction) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{10.0, 20.0}, {30.0, 40.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 44.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 9.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a{2, 2};
+  const Matrix b{2, 3};
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(Matrix, ScalarMultiply) {
+  const Matrix a{{1.0, -2.0}};
+  const Matrix twice = 2.0 * a;
+  EXPECT_DOUBLE_EQ(twice(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(twice(0, 1), -4.0);
+}
+
+TEST(Matrix, Transposed) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(Matrix, TransposeTwiceIsIdentity) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(a.transposed().transposed(), a);
+}
+
+TEST(Matrix, Matmul) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  const Matrix a{2, 3};
+  const Matrix b{2, 3};
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Matrix, MatmulWithIdentity) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(matmul(a, identity(2)), a);
+  EXPECT_EQ(matmul(identity(2), a), a);
+}
+
+TEST(Matrix, MatmulNtMatchesExplicitTranspose) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix b{{7.0, 8.0, 9.0}, {1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(matmul_nt(a, b), matmul(a, b.transposed()));
+}
+
+TEST(Matrix, MatmulTnMatchesExplicitTranspose) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Matrix b{{7.0, 8.0, 9.0}, {1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(matmul_tn(a, b), matmul(a.transposed(), b));
+}
+
+TEST(Matrix, Matvec) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> x{1.0, 1.0};
+  const auto y = matvec(a, x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, SquaredNorm) {
+  const Matrix a{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.squared_norm(), 25.0);
+}
+
+TEST(Matrix, RowSpanWritesThrough) {
+  Matrix a{2, 2};
+  auto row = a.row(1);
+  row[0] = 42.0;
+  EXPECT_DOUBLE_EQ(a(1, 0), 42.0);
+}
+
+TEST(Matrix, Dot) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+}  // namespace
+}  // namespace varbench::math

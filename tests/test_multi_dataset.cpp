@@ -1,0 +1,126 @@
+#include "src/stats/multi_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/rngx/rng.h"
+
+namespace varbench::stats {
+namespace {
+
+TEST(Friedman, KnownRanksFromDominantAlgorithm) {
+  // Algorithm 2 always best, 0 always worst → ranks 3/2/1 per dataset.
+  const math::Matrix scores{{0.1, 0.5, 0.9},
+                            {0.2, 0.6, 0.8},
+                            {0.0, 0.4, 0.7},
+                            {0.3, 0.5, 0.9}};
+  const auto r = friedman_test(scores);
+  EXPECT_DOUBLE_EQ(r.average_ranks[0], 3.0);
+  EXPECT_DOUBLE_EQ(r.average_ranks[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.average_ranks[2], 1.0);
+  // χ²_F = 12·4/(3·4)·(14 − 12) = 8 for perfectly consistent rankings.
+  EXPECT_NEAR(r.chi_squared, 8.0, 1e-12);
+  EXPECT_LT(r.p_value, 0.05);
+}
+
+TEST(Friedman, NoDifferenceGivesLargeP) {
+  rngx::Rng rng{1};
+  math::Matrix scores{12, 3};
+  for (double& v : scores.data()) v = rng.normal();
+  const auto r = friedman_test(scores);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(Friedman, DetectsConsistentSmallEdge) {
+  rngx::Rng rng{2};
+  math::Matrix scores{20, 3};
+  for (std::size_t d = 0; d < 20; ++d) {
+    const double base = rng.normal(0.0, 1.0);
+    scores(d, 0) = base + rng.normal(0.0, 0.01);
+    scores(d, 1) = base + 0.1 + rng.normal(0.0, 0.01);
+    scores(d, 2) = base + 0.2 + rng.normal(0.0, 0.01);
+  }
+  EXPECT_LT(friedman_test(scores).p_value, 1e-4);
+}
+
+TEST(Friedman, BadShapesThrow) {
+  EXPECT_THROW((void)friedman_test(math::Matrix{1, 3}), std::invalid_argument);
+  EXPECT_THROW((void)friedman_test(math::Matrix{5, 1}), std::invalid_argument);
+}
+
+TEST(Friedman, TiesShareRanks) {
+  const math::Matrix scores{{0.5, 0.5}, {0.5, 0.5}};
+  const auto r = friedman_test(scores);
+  EXPECT_DOUBLE_EQ(r.average_ranks[0], 1.5);
+  EXPECT_DOUBLE_EQ(r.average_ranks[1], 1.5);
+  EXPECT_NEAR(r.chi_squared, 0.0, 1e-12);
+}
+
+TEST(Nemenyi, CriticalDifferenceShrinsWithDatasets) {
+  const double cd_small = nemenyi_critical_difference(4, 5);
+  const double cd_large = nemenyi_critical_difference(4, 50);
+  EXPECT_GT(cd_small, cd_large);
+  // Demšar's example regime: k=4, N=10 → CD ≈ 1.41.
+  EXPECT_NEAR(nemenyi_critical_difference(4, 14), 1.25, 0.15);
+}
+
+TEST(Nemenyi, InvalidArgsThrow) {
+  EXPECT_THROW((void)nemenyi_critical_difference(1, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)nemenyi_critical_difference(11, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)nemenyi_critical_difference(3, 1), std::invalid_argument);
+}
+
+TEST(Nemenyi, TopGroupContainsBestAndCloseCompetitors) {
+  // 3 algorithms, many datasets, algorithm 2 best, algorithm 1 close,
+  // algorithm 0 far behind.
+  rngx::Rng rng{3};
+  math::Matrix scores{30, 3};
+  for (std::size_t d = 0; d < 30; ++d) {
+    scores(d, 0) = rng.normal(0.0, 0.05);
+    scores(d, 1) = rng.normal(0.48, 0.05);
+    scores(d, 2) = rng.normal(0.5, 0.05);
+  }
+  const auto fr = friedman_test(scores);
+  const auto group = nemenyi_top_group(fr, 30);
+  EXPECT_TRUE(std::find(group.begin(), group.end(), 2u) != group.end());
+  EXPECT_TRUE(std::find(group.begin(), group.end(), 1u) != group.end());
+  EXPECT_TRUE(std::find(group.begin(), group.end(), 0u) == group.end());
+}
+
+TEST(Replicability, CountsBonferroniSignificant) {
+  // 4 datasets, alpha 0.05 → corrected 0.0125.
+  const std::vector<double> p{0.001, 0.010, 0.030, 0.200};
+  const auto r = replicability_analysis(p, 0.05);
+  EXPECT_EQ(r.dataset_count, 4u);
+  EXPECT_EQ(r.significant_count, 2u);
+  EXPECT_FALSE(r.improves_on_all);
+  EXPECT_TRUE(r.significant[0]);
+  EXPECT_TRUE(r.significant[1]);
+  EXPECT_FALSE(r.significant[2]);
+  EXPECT_FALSE(r.significant[3]);
+}
+
+TEST(Replicability, AcceptsWhenAllSignificant) {
+  const std::vector<double> p{0.001, 0.002, 0.003};
+  EXPECT_TRUE(replicability_analysis(p, 0.05).improves_on_all);
+}
+
+TEST(Replicability, EmptyThrows) {
+  const std::vector<double> none;
+  EXPECT_THROW((void)replicability_analysis(none), std::invalid_argument);
+}
+
+TEST(WilcoxonAcrossDatasets, MatchesDirectWilcoxon) {
+  const std::vector<double> a{0.9, 0.8, 0.85, 0.95, 0.7};
+  const std::vector<double> b{0.85, 0.75, 0.8, 0.9, 0.72};
+  const auto r1 = wilcoxon_across_datasets(a, b);
+  const auto r2 = wilcoxon_signed_rank(a, b);
+  EXPECT_DOUBLE_EQ(r1.statistic, r2.statistic);
+  EXPECT_DOUBLE_EQ(r1.p_value, r2.p_value);
+}
+
+}  // namespace
+}  // namespace varbench::stats

@@ -1,0 +1,79 @@
+#include "src/stats/sample_size.h"
+
+#include <gtest/gtest.h>
+
+namespace varbench::stats {
+namespace {
+
+TEST(NoetherSampleSize, PaperRecommendedThresholdGives29) {
+  // Appendix C.3: γ=0.75, α=0.05, β=0.05 → N = 29.
+  EXPECT_EQ(noether_sample_size(0.75, 0.05, 0.05), 29u);
+}
+
+TEST(NoetherSampleSize, GrowsExplosivelyNearHalf) {
+  // Fig. C.1: below γ=0.6 the required sample size becomes impractical.
+  EXPECT_GT(noether_sample_size(0.55, 0.05, 0.05), 700u);
+  EXPECT_GT(noether_sample_size(0.6, 0.05, 0.05), 150u);
+  EXPECT_LT(noether_sample_size(0.9, 0.05, 0.05), 15u);
+}
+
+TEST(NoetherSampleSize, MonotoneDecreasingInGamma) {
+  std::size_t prev = noether_sample_size(0.55);
+  for (double g = 0.6; g < 0.99; g += 0.05) {
+    const std::size_t n = noether_sample_size(g);
+    EXPECT_LE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(NoetherSampleSize, StricterBetaNeedsMoreSamples) {
+  EXPECT_GE(noether_sample_size(0.75, 0.05, 0.01),
+            noether_sample_size(0.75, 0.05, 0.20));
+}
+
+TEST(NoetherSampleSize, InvalidInputsThrow) {
+  EXPECT_THROW((void)noether_sample_size(0.5), std::invalid_argument);
+  EXPECT_THROW((void)noether_sample_size(1.0), std::invalid_argument);
+  EXPECT_THROW((void)noether_sample_size(0.75, 0.0, 0.05),
+               std::invalid_argument);
+  EXPECT_THROW((void)noether_sample_size(0.75, 0.05, 1.0),
+               std::invalid_argument);
+}
+
+TEST(NoetherPower, RoundTripsWithSampleSize) {
+  // Power at the Noether-determined N must be >= the design 1−β.
+  const std::size_t n = noether_sample_size(0.75, 0.05, 0.05);
+  EXPECT_GE(noether_power(n, 0.75, 0.05), 0.95 - 1e-9);
+  // One fewer sample should fall below it.
+  EXPECT_LT(noether_power(n - 1, 0.75, 0.05), 0.95);
+}
+
+TEST(NoetherPower, IncreasesWithN) {
+  double prev = 0.0;
+  for (const std::size_t n : {5u, 10u, 20u, 40u, 80u}) {
+    const double p = noether_power(n, 0.7);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(NoetherPower, InvalidInputsThrow) {
+  EXPECT_THROW((void)noether_power(0, 0.75), std::invalid_argument);
+  EXPECT_THROW((void)noether_power(10, 0.5), std::invalid_argument);
+}
+
+// Parameterized sweep: for every γ the formula must self-invert.
+class NoetherSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoetherSweep, PowerAtComputedNMeetsTarget) {
+  const double gamma = GetParam();
+  const std::size_t n = noether_sample_size(gamma, 0.05, 0.10);
+  EXPECT_GE(noether_power(n, gamma, 0.05), 0.90 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, NoetherSweep,
+                         ::testing::Values(0.6, 0.65, 0.7, 0.75, 0.8, 0.85,
+                                           0.9, 0.95));
+
+}  // namespace
+}  // namespace varbench::stats

@@ -1,0 +1,115 @@
+#include "src/stats/shapiro_wilk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/rngx/rng.h"
+
+namespace varbench::stats {
+namespace {
+
+TEST(ShapiroWilk, NormalSampleNotRejected) {
+  rngx::Rng rng{1};
+  std::vector<double> x(100);
+  for (double& v : x) v = rng.normal(3.0, 2.0);
+  const auto r = shapiro_wilk(x);
+  EXPECT_GT(r.w_statistic, 0.97);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(ShapiroWilk, UniformSampleRejected) {
+  rngx::Rng rng{2};
+  std::vector<double> x(500);
+  for (double& v : x) v = rng.uniform();
+  const auto r = shapiro_wilk(x);
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(ShapiroWilk, ExponentialSampleStronglyRejected) {
+  rngx::Rng rng{3};
+  std::vector<double> x(200);
+  for (double& v : x) v = -std::log(1.0 - rng.uniform());
+  const auto r = shapiro_wilk(x);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_LT(r.w_statistic, 0.95);
+}
+
+TEST(ShapiroWilk, BimodalSampleRejected) {
+  rngx::Rng rng{4};
+  std::vector<double> x(300);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal(i % 2 == 0 ? -4.0 : 4.0, 1.0);
+  }
+  EXPECT_LT(shapiro_wilk(x).p_value, 1e-4);
+}
+
+TEST(ShapiroWilk, WStatisticInUnitInterval) {
+  rngx::Rng rng{5};
+  for (const std::size_t n : {4u, 7u, 11u, 12u, 35u, 200u}) {
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.normal();
+    const auto r = shapiro_wilk(x);
+    EXPECT_GT(r.w_statistic, 0.0);
+    EXPECT_LE(r.w_statistic, 1.0);
+    EXPECT_GE(r.p_value, 0.0);
+    EXPECT_LE(r.p_value, 1.0);
+  }
+}
+
+TEST(ShapiroWilk, FalsePositiveRateNearAlpha) {
+  // Under H0 (normal data), P(p < 0.05) should be ≈ 5%.
+  rngx::Rng rng{6};
+  int rejections = 0;
+  constexpr int rounds = 400;
+  for (int i = 0; i < rounds; ++i) {
+    std::vector<double> x(30);
+    for (double& v : x) v = rng.normal();
+    if (shapiro_wilk(x).p_value < 0.05) ++rejections;
+  }
+  EXPECT_NEAR(static_cast<double>(rejections) / rounds, 0.05, 0.045);
+}
+
+TEST(ShapiroWilk, InvalidInputsThrow) {
+  EXPECT_THROW((void)shapiro_wilk(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)shapiro_wilk(std::vector<double>{1.0, 1.0, 1.0}),
+               std::invalid_argument);
+  std::vector<double> too_big(5001, 0.0);
+  for (std::size_t i = 0; i < too_big.size(); ++i) {
+    too_big[i] = static_cast<double>(i);
+  }
+  EXPECT_THROW((void)shapiro_wilk(too_big), std::invalid_argument);
+}
+
+TEST(ShapiroWilk, ScaleAndShiftInvariant) {
+  rngx::Rng rng{7};
+  std::vector<double> x(80);
+  for (double& v : x) v = rng.normal();
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 100.0 + 7.0 * x[i];
+  const auto rx = shapiro_wilk(x);
+  const auto ry = shapiro_wilk(y);
+  EXPECT_NEAR(rx.w_statistic, ry.w_statistic, 1e-10);
+  EXPECT_NEAR(rx.p_value, ry.p_value, 1e-10);
+}
+
+// Parameterized: normality holds across many sample sizes for normal data.
+class ShapiroWilkSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShapiroWilkSizes, NormalDataUsuallyAccepted) {
+  rngx::Rng rng{100 + GetParam()};
+  int accepted = 0;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<double> x(GetParam());
+    for (double& v : x) v = rng.normal();
+    if (shapiro_wilk(x).p_value > 0.05) ++accepted;
+  }
+  EXPECT_GE(accepted, 15);  // expect ~19/20
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShapiroWilkSizes,
+                         ::testing::Values(5, 10, 11, 12, 25, 50, 100, 500));
+
+}  // namespace
+}  // namespace varbench::stats

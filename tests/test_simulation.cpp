@@ -1,0 +1,104 @@
+#include "src/compare/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/descriptive.h"
+#include "src/stats/prob_outperform.h"
+
+namespace varbench::compare {
+namespace {
+
+TaskVarianceProfile demo_profile() {
+  TaskVarianceProfile p;
+  p.task = "demo";
+  p.mu = 0.8;
+  p.sigma_ideal = 0.02;
+  p.sigma_bias = 0.01;
+  p.sigma_within = 0.015;
+  return p;
+}
+
+TEST(Profile, TotalBiasedSigma) {
+  const auto p = demo_profile();
+  EXPECT_NEAR(p.sigma_biased_total(),
+              std::sqrt(0.01 * 0.01 + 0.015 * 0.015), 1e-12);
+}
+
+TEST(Simulate, IdealMomentsMatch) {
+  const auto p = demo_profile();
+  rngx::Rng rng{1};
+  const auto x = simulate_measures(p, EstimatorKind::kIdeal, 0.0, 20000, rng);
+  EXPECT_NEAR(stats::mean(x), 0.8, 0.001);
+  EXPECT_NEAR(stats::stddev(x), 0.02, 0.001);
+}
+
+TEST(Simulate, BiasedSharesOneBiasPerCall) {
+  // Within one call, the bias is sampled once → the within-call std is
+  // sigma_within, not the total.
+  const auto p = demo_profile();
+  rngx::Rng rng{2};
+  const auto x = simulate_measures(p, EstimatorKind::kBiased, 0.0, 20000, rng);
+  EXPECT_NEAR(stats::stddev(x), p.sigma_within, 0.002);
+}
+
+TEST(Simulate, BiasedMarginalStdAcrossCalls) {
+  // Across many calls the total spread includes the bias term.
+  const auto p = demo_profile();
+  rngx::Rng rng{3};
+  std::vector<double> singles;
+  for (int i = 0; i < 20000; ++i) {
+    singles.push_back(
+        simulate_measures(p, EstimatorKind::kBiased, 0.0, 1, rng)[0]);
+  }
+  EXPECT_NEAR(stats::stddev(singles), p.sigma_biased_total(), 0.002);
+}
+
+TEST(Simulate, OffsetShiftsMean) {
+  const auto p = demo_profile();
+  rngx::Rng rng{4};
+  const auto x = simulate_measures(p, EstimatorKind::kIdeal, 0.05, 5000, rng);
+  EXPECT_NEAR(stats::mean(x), 0.85, 0.002);
+}
+
+TEST(MeanOffset, RoundTripsWithProbability) {
+  for (const double p : {0.55, 0.6, 0.75, 0.9, 0.99}) {
+    const double delta = mean_offset_for_probability(p, 0.02);
+    EXPECT_NEAR(probability_for_mean_offset(delta, 0.02), p, 1e-10);
+  }
+}
+
+TEST(MeanOffset, HalfGivesZero) {
+  EXPECT_NEAR(mean_offset_for_probability(0.5, 1.0), 0.0, 1e-12);
+}
+
+TEST(MeanOffset, EmpiricalPabMatchesRequested) {
+  // Simulate two algorithms at a target P(A>B) and verify the empirical
+  // win rate converges to the target — the consistency check behind Fig. 6's
+  // x-axis.
+  const auto profile = demo_profile();
+  const double target = 0.75;
+  const double offset =
+      mean_offset_for_probability(target, profile.sigma_ideal);
+  rngx::Rng rng{5};
+  const auto a =
+      simulate_measures(profile, EstimatorKind::kIdeal, offset, 50000, rng);
+  const auto b =
+      simulate_measures(profile, EstimatorKind::kIdeal, 0.0, 50000, rng);
+  EXPECT_NEAR(stats::probability_of_outperforming(a, b), target, 0.01);
+}
+
+TEST(Simulate, InvalidInputsThrow) {
+  const auto p = demo_profile();
+  rngx::Rng rng{6};
+  EXPECT_THROW((void)simulate_measures(p, EstimatorKind::kIdeal, 0.0, 0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)mean_offset_for_probability(0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)probability_for_mean_offset(0.1, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace varbench::compare

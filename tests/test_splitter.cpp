@@ -1,0 +1,169 @@
+#include "src/core/splitter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <set>
+
+#include "src/ml/synthetic.h"
+
+namespace varbench::core {
+namespace {
+
+ml::Dataset pool_of(std::size_t n, std::size_t classes = 2) {
+  ml::GaussianMixtureConfig cfg;
+  cfg.num_classes = classes;
+  cfg.dim = 3;
+  cfg.n = n;
+  rngx::Rng rng{1};
+  return ml::make_gaussian_mixture(cfg, rng);
+}
+
+TEST(OutOfBootstrap, TrainAndTestDisjointSources) {
+  const auto pool = pool_of(200);
+  const OutOfBootstrapSplitter splitter;
+  rngx::Rng rng{2};
+  const auto s = splitter.split(pool, rng);
+  const std::set<std::size_t> train_set(s.train.begin(), s.train.end());
+  for (const auto t : s.test) {
+    EXPECT_EQ(train_set.count(t), 0u)
+        << "test row " << t << " leaked into the bootstrap train set";
+  }
+}
+
+TEST(OutOfBootstrap, DefaultSizesMatchEfron) {
+  // Bootstrap of size n leaves ≈ n·e⁻¹ ≈ 36.8% out-of-bag on average.
+  const auto pool = pool_of(1000);
+  const OutOfBootstrapSplitter splitter;
+  rngx::Rng rng{3};
+  double oob_total = 0.0;
+  constexpr int rounds = 50;
+  for (int i = 0; i < rounds; ++i) {
+    const auto s = splitter.split(pool, rng);
+    EXPECT_EQ(s.train.size(), 1000u);
+    oob_total += static_cast<double>(s.test.size());
+  }
+  EXPECT_NEAR(oob_total / rounds / 1000.0, std::exp(-1.0), 0.02);
+}
+
+TEST(OutOfBootstrap, ExplicitSizesRespected) {
+  const auto pool = pool_of(500);
+  const OutOfBootstrapSplitter splitter{200, 100};
+  rngx::Rng rng{4};
+  const auto s = splitter.split(pool, rng);
+  EXPECT_EQ(s.train.size(), 200u);
+  EXPECT_EQ(s.test.size(), 100u);
+}
+
+TEST(OutOfBootstrap, StratifiedPreservesClassBalance) {
+  const auto pool = pool_of(1000, 4);
+  const OutOfBootstrapSplitter splitter{400, 0, /*stratified=*/true};
+  rngx::Rng rng{5};
+  const auto s = splitter.split(pool, rng);
+  std::vector<std::size_t> counts(4, 0);
+  for (const auto i : s.train) ++counts[ml::label_of(pool, i)];
+  for (const auto c : counts) EXPECT_EQ(c, 100u);  // 400/4 per class
+}
+
+TEST(OutOfBootstrap, DifferentSeedsDifferentSplits) {
+  const auto pool = pool_of(300);
+  const OutOfBootstrapSplitter splitter{100, 50};
+  rngx::Rng r1{6};
+  rngx::Rng r2{7};
+  EXPECT_NE(splitter.split(pool, r1).train, splitter.split(pool, r2).train);
+}
+
+TEST(OutOfBootstrap, SameSeedSameSplit) {
+  const auto pool = pool_of(300);
+  const OutOfBootstrapSplitter splitter{100, 50};
+  rngx::Rng r1{8};
+  rngx::Rng r2{8};
+  const auto s1 = splitter.split(pool, r1);
+  const auto s2 = splitter.split(pool, r2);
+  EXPECT_EQ(s1.train, s2.train);
+  EXPECT_EQ(s1.test, s2.test);
+}
+
+TEST(OutOfBootstrap, TrainSetHasDuplicates) {
+  const auto pool = pool_of(300);
+  const OutOfBootstrapSplitter splitter;
+  rngx::Rng rng{9};
+  const auto s = splitter.split(pool, rng);
+  const std::set<std::size_t> unique(s.train.begin(), s.train.end());
+  EXPECT_LT(unique.size(), s.train.size());
+}
+
+TEST(OutOfBootstrap, EmptyPoolThrows) {
+  const ml::Dataset empty;
+  const OutOfBootstrapSplitter splitter;
+  rngx::Rng rng{1};
+  EXPECT_THROW((void)splitter.split(empty, rng), std::invalid_argument);
+}
+
+TEST(FixedHoldout, DeterministicRegardlessOfSeed) {
+  const auto pool = pool_of(100);
+  const FixedHoldoutSplitter splitter{0.8};
+  rngx::Rng r1{10};
+  rngx::Rng r2{11};
+  const auto s1 = splitter.split(pool, r1);
+  const auto s2 = splitter.split(pool, r2);
+  EXPECT_EQ(s1.train, s2.train);
+  EXPECT_EQ(s1.test, s2.test);
+  EXPECT_EQ(s1.train.size(), 80u);
+  EXPECT_EQ(s1.test.size(), 20u);
+}
+
+TEST(FixedHoldout, BadRatioThrows) {
+  EXPECT_THROW(FixedHoldoutSplitter{0.0}, std::invalid_argument);
+  EXPECT_THROW(FixedHoldoutSplitter{1.0}, std::invalid_argument);
+}
+
+TEST(ShuffleSplit, PartitionWithoutReplacement) {
+  const auto pool = pool_of(100);
+  const ShuffleSplitter splitter{0.7};
+  rngx::Rng rng{12};
+  const auto s = splitter.split(pool, rng);
+  EXPECT_EQ(s.train.size(), 70u);
+  EXPECT_EQ(s.test.size(), 30u);
+  std::set<std::size_t> all(s.train.begin(), s.train.end());
+  all.insert(s.test.begin(), s.test.end());
+  EXPECT_EQ(all.size(), 100u);  // exact partition, no duplicates
+}
+
+TEST(CrossValidation, FoldsPartitionData) {
+  const auto pool = pool_of(100);
+  rngx::Rng rng{13};
+  const auto folds = cross_validation_folds(pool, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> all_test;
+  for (const auto& f : folds) {
+    EXPECT_EQ(f.train.size() + f.test.size(), 100u);
+    all_test.insert(f.test.begin(), f.test.end());
+  }
+  EXPECT_EQ(all_test.size(), 100u);  // every row is a test row exactly once
+}
+
+TEST(CrossValidation, BadKThrows) {
+  const auto pool = pool_of(10);
+  rngx::Rng rng{1};
+  EXPECT_THROW((void)cross_validation_folds(pool, 1, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)cross_validation_folds(pool, 11, rng),
+               std::invalid_argument);
+}
+
+TEST(Materialize, ProducesCorrectDatasets) {
+  const auto pool = pool_of(50);
+  const ShuffleSplitter splitter{0.8};
+  rngx::Rng rng{14};
+  const auto s = splitter.split(pool, rng);
+  const auto [train, test] = materialize(pool, s);
+  EXPECT_EQ(train.size(), s.train.size());
+  EXPECT_EQ(test.size(), s.test.size());
+  EXPECT_EQ(train.num_classes, pool.num_classes);
+  EXPECT_DOUBLE_EQ(train.y[0], pool.y[s.train[0]]);
+}
+
+}  // namespace
+}  // namespace varbench::core

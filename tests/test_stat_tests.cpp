@@ -1,0 +1,184 @@
+#include "src/stats/tests.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/rngx/rng.h"
+
+namespace varbench::stats {
+namespace {
+
+TEST(OneSampleT, NullDataGivesLargeP) {
+  rngx::Rng rng{1};
+  std::vector<double> x(50);
+  for (double& v : x) v = rng.normal(5.0, 1.0);
+  const auto r = one_sample_t_test(x, 5.0);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(OneSampleT, ShiftedDataGivesSmallP) {
+  rngx::Rng rng{2};
+  std::vector<double> x(50);
+  for (double& v : x) v = rng.normal(5.0, 1.0);
+  const auto r = one_sample_t_test(x, 4.0);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_GT(r.statistic, 0.0);
+}
+
+TEST(OneSampleT, KnownStatistic) {
+  // x = {1,2,3,4,5}: mean 3, s = sqrt(2.5), se = sqrt(0.5).
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto r = one_sample_t_test(x, 2.0);
+  EXPECT_NEAR(r.statistic, 1.0 / std::sqrt(0.5), 1e-12);
+}
+
+TEST(WelchT, EqualSamplesGiveP1) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const auto r = welch_t_test(x, x);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+}
+
+TEST(WelchT, DetectsLargeDifference) {
+  rngx::Rng rng{3};
+  std::vector<double> a(40);
+  std::vector<double> b(40);
+  for (double& v : a) v = rng.normal(0.0, 1.0);
+  for (double& v : b) v = rng.normal(2.0, 1.5);
+  const auto r = welch_t_test(a, b);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_LT(r.statistic, 0.0);  // mean(a) < mean(b)
+}
+
+TEST(WelchT, FalsePositiveRateNearAlpha) {
+  rngx::Rng rng{4};
+  int rejections = 0;
+  constexpr int rounds = 400;
+  for (int i = 0; i < rounds; ++i) {
+    std::vector<double> a(20);
+    std::vector<double> b(20);
+    for (double& v : a) v = rng.normal();
+    for (double& v : b) v = rng.normal();
+    if (welch_t_test(a, b).p_value < 0.05) ++rejections;
+  }
+  EXPECT_NEAR(static_cast<double>(rejections) / rounds, 0.05, 0.04);
+}
+
+TEST(PairedT, RemovesSharedVariance) {
+  // Pairs share a large common component; paired test should detect the
+  // small systematic difference where unpaired Welch cannot.
+  rngx::Rng rng{5};
+  std::vector<double> a(30);
+  std::vector<double> b(30);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double shared = rng.normal(0.0, 10.0);
+    a[i] = shared + 0.5 + rng.normal(0.0, 0.1);
+    b[i] = shared + rng.normal(0.0, 0.1);
+  }
+  EXPECT_LT(paired_t_test(a, b).p_value, 1e-6);
+  EXPECT_GT(welch_t_test(a, b).p_value, 0.05);
+}
+
+TEST(ZTest, KnownValue) {
+  // mean diff 1, σA=σB=1, k=8 → se = sqrt(2/8) = 0.5 → z = 2.
+  const auto r = z_test(1.0, 0.0, 1.0, 1.0, 8);
+  EXPECT_NEAR(r.statistic, 2.0, 1e-12);
+  EXPECT_NEAR(r.p_value, 0.0455, 1e-3);
+}
+
+TEST(ZTestMinimumDetectable, Section31Bound) {
+  // δ_min = z_{0.95}·√((σA²+σB²)/k); doubles k → shrinks by √2.
+  const double d1 = z_test_minimum_detectable(1.0, 1.0, 10, 0.05);
+  const double d2 = z_test_minimum_detectable(1.0, 1.0, 20, 0.05);
+  EXPECT_NEAR(d1 / d2, std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(d1, 1.6448536 * std::sqrt(0.2), 1e-6);
+}
+
+TEST(MannWhitney, KnownSmallExample) {
+  // A = {1,2,3}, B = {4,5,6}: A always loses → U_A = 0.
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, 5.0, 6.0};
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_DOUBLE_EQ(r.u_statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.prob_a_greater, 0.0);
+}
+
+TEST(MannWhitney, SymmetricSamplesGiveHalf) {
+  const std::vector<double> a{1.0, 3.0, 5.0};
+  const std::vector<double> b{2.0, 4.0, 6.0};
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_NEAR(r.prob_a_greater, 1.0 / 3.0, 1e-12);  // U_A = 3 of 9
+}
+
+TEST(MannWhitney, ProbAGreaterIsEffectSize) {
+  // prob_a_greater must equal the fraction of (a, b) pairs with a > b
+  // (ties counting half).
+  const std::vector<double> a{5.0, 5.0, 9.0};
+  const std::vector<double> b{5.0, 1.0, 9.0};
+  const auto r = mann_whitney_u(a, b);
+  double wins = 0.0;
+  for (const double x : a) {
+    for (const double y : b) {
+      if (x > y) wins += 1.0;
+      if (x == y) wins += 0.5;
+    }
+  }
+  EXPECT_NEAR(r.prob_a_greater, wins / 9.0, 1e-12);
+}
+
+TEST(MannWhitney, DetectsShift) {
+  rngx::Rng rng{6};
+  std::vector<double> a(40);
+  std::vector<double> b(40);
+  for (double& v : a) v = rng.normal(1.0, 1.0);
+  for (double& v : b) v = rng.normal(0.0, 1.0);
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_LT(r.p_value, 0.01);
+  EXPECT_GT(r.prob_a_greater, 0.6);
+}
+
+TEST(MannWhitney, NullFalsePositiveRate) {
+  rngx::Rng rng{7};
+  int rejections = 0;
+  constexpr int rounds = 300;
+  for (int i = 0; i < rounds; ++i) {
+    std::vector<double> a(25);
+    std::vector<double> b(25);
+    for (double& v : a) v = rng.normal();
+    for (double& v : b) v = rng.normal();
+    if (mann_whitney_u(a, b).p_value < 0.05) ++rejections;
+  }
+  EXPECT_NEAR(static_cast<double>(rejections) / rounds, 0.05, 0.04);
+}
+
+TEST(Wilcoxon, AllZeroDifferencesGiveP1) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const auto r = wilcoxon_signed_rank(a, a);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(Wilcoxon, DetectsPairedShift) {
+  rngx::Rng rng{8};
+  std::vector<double> a(40);
+  std::vector<double> b(40);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    b[i] = rng.normal(0.0, 1.0);
+    a[i] = b[i] + 0.8 + rng.normal(0.0, 0.3);
+  }
+  EXPECT_LT(wilcoxon_signed_rank(a, b).p_value, 1e-4);
+}
+
+TEST(Wilcoxon, MismatchedSizesThrow) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)wilcoxon_signed_rank(a, b), std::invalid_argument);
+}
+
+TEST(Bonferroni, DividesAlpha) {
+  EXPECT_DOUBLE_EQ(bonferroni_alpha(0.05, 5), 0.01);
+  EXPECT_THROW((void)bonferroni_alpha(0.05, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace varbench::stats

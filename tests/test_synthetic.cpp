@@ -1,0 +1,198 @@
+#include "src/ml/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/descriptive.h"
+
+namespace varbench::ml {
+namespace {
+
+TEST(GaussianMixture, ShapeAndLabels) {
+  GaussianMixtureConfig cfg;
+  cfg.num_classes = 3;
+  cfg.dim = 5;
+  cfg.n = 200;
+  rngx::Rng rng{1};
+  const auto d = make_gaussian_mixture(cfg, rng);
+  EXPECT_EQ(d.size(), 200u);
+  EXPECT_EQ(d.dim(), 5u);
+  EXPECT_EQ(d.num_classes, 3u);
+  EXPECT_NO_THROW(validate(d));
+}
+
+TEST(GaussianMixture, BalancedByDefault) {
+  GaussianMixtureConfig cfg;
+  cfg.num_classes = 4;
+  cfg.n = 8000;
+  rngx::Rng rng{2};
+  const auto d = make_gaussian_mixture(cfg, rng);
+  const auto by_class = indices_by_class(d);
+  for (const auto& members : by_class) {
+    EXPECT_NEAR(static_cast<double>(members.size()), 2000.0, 200.0);
+  }
+}
+
+TEST(GaussianMixture, ImbalanceRespected) {
+  GaussianMixtureConfig cfg;
+  cfg.num_classes = 2;
+  cfg.n = 5000;
+  cfg.class_probs = {0.9, 0.1};
+  rngx::Rng rng{3};
+  const auto d = make_gaussian_mixture(cfg, rng);
+  const auto by_class = indices_by_class(d);
+  EXPECT_NEAR(static_cast<double>(by_class[0].size()) / 5000.0, 0.9, 0.02);
+}
+
+TEST(GaussianMixture, SeparationControlsOverlap) {
+  // Larger class_sep → larger distance between class means in feature space.
+  GaussianMixtureConfig near_cfg;
+  near_cfg.num_classes = 2;
+  near_cfg.dim = 3;
+  near_cfg.n = 2000;
+  near_cfg.class_sep = 0.5;
+  auto far_cfg = near_cfg;
+  far_cfg.class_sep = 5.0;
+  rngx::Rng r1{4};
+  rngx::Rng r2{4};
+  const auto near_d = make_gaussian_mixture(near_cfg, r1);
+  const auto far_d = make_gaussian_mixture(far_cfg, r2);
+  auto mean_dist = [](const Dataset& d) {
+    std::vector<double> m0(d.dim(), 0.0);
+    std::vector<double> m1(d.dim(), 0.0);
+    double n0 = 0.0;
+    double n1 = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      auto& m = d.y[i] == 0.0 ? m0 : m1;
+      (d.y[i] == 0.0 ? n0 : n1) += 1.0;
+      for (std::size_t j = 0; j < d.dim(); ++j) m[j] += d.x(i, j);
+    }
+    double dist = 0.0;
+    for (std::size_t j = 0; j < d.dim(); ++j) {
+      const double diff = m0[j] / n0 - m1[j] / n1;
+      dist += diff * diff;
+    }
+    return std::sqrt(dist);
+  };
+  EXPECT_GT(mean_dist(far_d), mean_dist(near_d) + 2.0);
+}
+
+TEST(GaussianMixture, LabelNoiseFlipsLabels) {
+  GaussianMixtureConfig cfg;
+  cfg.num_classes = 2;
+  cfg.dim = 2;
+  cfg.n = 4000;
+  cfg.class_sep = 100.0;   // geometric clusters are unambiguous...
+  cfg.within_std = 0.1;    // ...and extremely tight
+  cfg.label_noise = 0.2;
+  rngx::Rng rng{5};
+  const auto d = make_gaussian_mixture(cfg, rng);
+  // Recover each sample's true class geometrically: samples belong to the
+  // cluster of whichever reference point they are near. Use sample 0 as one
+  // reference; anything farther than half the separation is the other class.
+  auto dist2_to_first = [&](std::size_t i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < d.dim(); ++j) {
+      const double diff = d.x(i, j) - d.x(0, j);
+      s += diff * diff;
+    }
+    return s;
+  };
+  std::vector<int> cluster(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    cluster[i] = dist2_to_first(i) < 50.0 * 50.0 ? 0 : 1;
+  }
+  // Majority label per cluster is the true label (noise is only 20%).
+  double votes[2][2] = {{0, 0}, {0, 0}};
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    votes[cluster[i]][static_cast<int>(d.y[i])] += 1.0;
+  }
+  const int true_label[2] = {votes[0][1] > votes[0][0] ? 1 : 0,
+                             votes[1][1] > votes[1][0] ? 1 : 0};
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (static_cast<int>(d.y[i]) != true_label[cluster[i]]) ++flips;
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / 4000.0, 0.2, 0.03);
+}
+
+TEST(GaussianMixture, InvalidConfigThrows) {
+  GaussianMixtureConfig cfg;
+  cfg.num_classes = 1;
+  rngx::Rng rng{1};
+  EXPECT_THROW((void)make_gaussian_mixture(cfg, rng), std::invalid_argument);
+  cfg.num_classes = 3;
+  cfg.class_probs = {0.5, 0.5};  // wrong length
+  EXPECT_THROW((void)make_gaussian_mixture(cfg, rng), std::invalid_argument);
+}
+
+TEST(RegressionTeacher, TargetsInUnitInterval) {
+  RegressionTeacherConfig cfg;
+  cfg.n = 500;
+  rngx::Rng rng{6};
+  const auto d = make_regression_teacher(cfg, rng);
+  EXPECT_EQ(d.kind, TaskKind::kRegression);
+  for (const double y : d.y) {
+    EXPECT_GT(y, 0.0);
+    EXPECT_LT(y, 1.0);
+  }
+}
+
+TEST(RegressionTeacher, SameTeacherSeedSameMechanism) {
+  RegressionTeacherConfig cfg;
+  cfg.n = 100;
+  cfg.noise_std = 0.0;
+  rngx::Rng r1{7};
+  rngx::Rng r2{7};
+  const auto d1 = make_regression_teacher(cfg, r1);
+  const auto d2 = make_regression_teacher(cfg, r2);
+  EXPECT_EQ(d1.y, d2.y);
+}
+
+TEST(RegressionTeacher, TargetsDependOnInputs) {
+  RegressionTeacherConfig cfg;
+  cfg.n = 1000;
+  cfg.noise_std = 0.0;
+  rngx::Rng rng{8};
+  const auto d = make_regression_teacher(cfg, rng);
+  EXPECT_GT(stats::stddev(d.y), 0.01);  // non-degenerate targets
+}
+
+TEST(SparseBinary, ShapeSparsityAndBalance) {
+  SparseBinaryConfig cfg;
+  cfg.n = 3000;
+  cfg.dim = 40;
+  cfg.density = 0.2;
+  rngx::Rng rng{9};
+  const auto d = make_sparse_binary(cfg, rng);
+  EXPECT_NO_THROW(validate(d));
+  std::size_t nonzero = 0;
+  for (const double v : d.x.data()) {
+    if (v != 0.0) ++nonzero;
+  }
+  const double density =
+      static_cast<double>(nonzero) / static_cast<double>(d.x.size());
+  EXPECT_NEAR(density, 0.2, 0.03);
+  const auto by_class = indices_by_class(d);
+  EXPECT_NEAR(static_cast<double>(by_class[0].size()) / 3000.0, 0.5, 0.05);
+}
+
+TEST(SparseBinary, FeaturesAreNonNegative) {
+  SparseBinaryConfig cfg;
+  cfg.n = 500;
+  rngx::Rng rng{10};
+  const auto d = make_sparse_binary(cfg, rng);
+  for (const double v : d.x.data()) EXPECT_GE(v, 0.0);
+}
+
+TEST(SparseBinary, InformativeGreaterThanDimThrows) {
+  SparseBinaryConfig cfg;
+  cfg.dim = 4;
+  cfg.informative = 8;
+  rngx::Rng rng{1};
+  EXPECT_THROW((void)make_sparse_binary(cfg, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace varbench::ml

@@ -1,0 +1,160 @@
+#include "src/ml/train.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ml/metrics.h"
+#include "src/ml/synthetic.h"
+
+namespace varbench::ml {
+namespace {
+
+Dataset easy_dataset(std::uint64_t seed = 1) {
+  GaussianMixtureConfig cfg;
+  cfg.num_classes = 2;
+  cfg.dim = 4;
+  cfg.n = 300;
+  cfg.class_sep = 3.0;
+  rngx::Rng rng{seed};
+  return make_gaussian_mixture(cfg, rng);
+}
+
+TrainConfig quick_config() {
+  TrainConfig cfg;
+  cfg.model.hidden = {8};
+  cfg.opt.learning_rate = 0.05;
+  cfg.opt.momentum = 0.9;
+  cfg.epochs = 20;
+  cfg.batch_size = 16;
+  return cfg;
+}
+
+TEST(Train, LearnsSeparableTask) {
+  const auto data = easy_dataset();
+  const rngx::VariationSeeds seeds;
+  const Mlp m = train_mlp(data, quick_config(), seeds);
+  EXPECT_GT(evaluate_model(m, data, Metric::kAccuracy), 0.9);
+}
+
+TEST(Train, ReproducibleWithSameSeeds) {
+  const auto data = easy_dataset();
+  const rngx::VariationSeeds seeds;
+  const Mlp m1 = train_mlp(data, quick_config(), seeds);
+  const Mlp m2 = train_mlp(data, quick_config(), seeds);
+  EXPECT_EQ(m1.weights()[0], m2.weights()[0]);
+  EXPECT_EQ(m1.weights()[1], m2.weights()[1]);
+}
+
+TEST(Train, WeightInitSeedChangesResult) {
+  const auto data = easy_dataset();
+  rngx::VariationSeeds a;
+  rngx::VariationSeeds b;
+  b.weight_init = 999;
+  const Mlp m1 = train_mlp(data, quick_config(), a);
+  const Mlp m2 = train_mlp(data, quick_config(), b);
+  EXPECT_NE(m1.weights()[0], m2.weights()[0]);
+}
+
+TEST(Train, DataOrderSeedChangesResult) {
+  const auto data = easy_dataset();
+  rngx::VariationSeeds a;
+  rngx::VariationSeeds b;
+  b.data_order = 999;
+  const Mlp m1 = train_mlp(data, quick_config(), a);
+  const Mlp m2 = train_mlp(data, quick_config(), b);
+  EXPECT_NE(m1.weights()[0], m2.weights()[0]);
+}
+
+TEST(Train, DropoutSeedChangesResultOnlyWhenDropoutActive) {
+  const auto data = easy_dataset();
+  rngx::VariationSeeds a;
+  rngx::VariationSeeds b;
+  b.dropout = 999;
+  // No dropout configured → identical results.
+  const Mlp m1 = train_mlp(data, quick_config(), a);
+  const Mlp m2 = train_mlp(data, quick_config(), b);
+  EXPECT_EQ(m1.weights()[0], m2.weights()[0]);
+  // With dropout → different results.
+  auto cfg = quick_config();
+  cfg.model.dropout = 0.3;
+  const Mlp m3 = train_mlp(data, cfg, a);
+  const Mlp m4 = train_mlp(data, cfg, b);
+  EXPECT_NE(m3.weights()[0], m4.weights()[0]);
+}
+
+TEST(Train, AugmentSeedChangesResultOnlyWhenAugmentActive) {
+  const auto data = easy_dataset();
+  rngx::VariationSeeds a;
+  rngx::VariationSeeds b;
+  b.data_augment = 999;
+  const Mlp m1 = train_mlp(data, quick_config(), a);
+  const Mlp m2 = train_mlp(data, quick_config(), b);
+  EXPECT_EQ(m1.weights()[0], m2.weights()[0]);
+  auto cfg = quick_config();
+  cfg.augment.jitter_std = 0.2;
+  const Mlp m3 = train_mlp(data, cfg, a);
+  const Mlp m4 = train_mlp(data, cfg, b);
+  EXPECT_NE(m3.weights()[0], m4.weights()[0]);
+}
+
+TEST(Train, NumericalNoiseBreaksReproducibility) {
+  const auto data = easy_dataset();
+  auto cfg = quick_config();
+  cfg.numerical_noise_std = 0.01;
+  const rngx::VariationSeeds seeds;
+  const Mlp m1 = train_mlp(data, cfg, seeds);
+  const Mlp m2 = train_mlp(data, cfg, seeds);
+  // Identical seeds but non-identical results — the paper's Appendix A
+  // irreproducible-pipeline case.
+  EXPECT_NE(m1.weights()[0], m2.weights()[0]);
+}
+
+TEST(Train, RegressionPathLearnsTeacher) {
+  RegressionTeacherConfig rcfg;
+  rcfg.dim = 6;
+  rcfg.n = 400;
+  rcfg.noise_std = 0.01;
+  rngx::Rng rng{3};
+  const auto data = make_regression_teacher(rcfg, rng);
+  TrainConfig cfg;
+  cfg.model.hidden = {16};
+  cfg.optimizer = OptimizerKind::kAdam;
+  cfg.loss = LossKind::kMse;
+  cfg.opt.learning_rate = 0.01;
+  cfg.epochs = 30;
+  cfg.batch_size = 32;
+  const rngx::VariationSeeds seeds;
+  const Mlp m = train_mlp(data, cfg, seeds);
+  EXPECT_GT(evaluate_model(m, data, Metric::kPearson), 0.8);
+}
+
+TEST(Train, EmptyDatasetThrows) {
+  const Dataset empty;
+  EXPECT_THROW((void)train_mlp(empty, quick_config(), rngx::VariationSeeds{}),
+               std::invalid_argument);
+}
+
+TEST(Train, CeLossOnRegressionThrows) {
+  RegressionTeacherConfig rcfg;
+  rcfg.n = 50;
+  rngx::Rng rng{4};
+  const auto data = make_regression_teacher(rcfg, rng);
+  auto cfg = quick_config();
+  cfg.loss = LossKind::kSoftmaxCrossEntropy;
+  EXPECT_THROW((void)train_mlp(data, cfg, rngx::VariationSeeds{}),
+               std::invalid_argument);
+}
+
+TEST(Train, MeanLossDecreasesWithTraining) {
+  const auto data = easy_dataset();
+  auto cfg = quick_config();
+  cfg.epochs = 1;
+  const rngx::VariationSeeds seeds;
+  const Mlp short_train = train_mlp(data, cfg, seeds);
+  cfg.epochs = 15;
+  const Mlp long_train = train_mlp(data, cfg, seeds);
+  EXPECT_LT(mean_loss(long_train, data, LossKind::kSoftmaxCrossEntropy),
+            mean_loss(short_train, data, LossKind::kSoftmaxCrossEntropy));
+}
+
+}  // namespace
+}  // namespace varbench::ml

@@ -1,0 +1,168 @@
+#include "src/ml/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ml/repro_audit.h"
+#include "src/ml/synthetic.h"
+
+namespace varbench::ml {
+namespace {
+
+Dataset data(std::uint64_t seed = 1) {
+  GaussianMixtureConfig cfg;
+  cfg.num_classes = 2;
+  cfg.dim = 4;
+  cfg.n = 150;
+  cfg.class_sep = 2.0;
+  rngx::Rng rng{seed};
+  return make_gaussian_mixture(cfg, rng);
+}
+
+TrainConfig config(double dropout = 0.0, double jitter = 0.0) {
+  TrainConfig cfg;
+  cfg.model.hidden = {6};
+  cfg.model.dropout = dropout;
+  cfg.augment.jitter_std = jitter;
+  cfg.opt.learning_rate = 0.05;
+  cfg.opt.momentum = 0.9;
+  cfg.epochs = 6;
+  cfg.batch_size = 16;
+  return cfg;
+}
+
+TEST(Trainer, MatchesOneShotTrainMlp) {
+  const auto d = data();
+  const auto cfg = config(0.2, 0.1);
+  const rngx::VariationSeeds seeds;
+  Trainer t{d, cfg, seeds};
+  t.run_to_completion();
+  const Mlp one_shot = train_mlp(d, cfg, seeds);
+  EXPECT_TRUE(models_identical(t.model(), one_shot));
+}
+
+TEST(Trainer, EpochCounting) {
+  const auto d = data();
+  Trainer t{d, config(), rngx::VariationSeeds{}};
+  EXPECT_EQ(t.epoch(), 0u);
+  EXPECT_FALSE(t.finished());
+  t.run_epoch();
+  EXPECT_EQ(t.epoch(), 1u);
+  t.run_to_completion();
+  EXPECT_TRUE(t.finished());
+  EXPECT_THROW(t.run_epoch(), std::logic_error);
+}
+
+TEST(Trainer, CheckpointResumeIsBitExact) {
+  const auto d = data();
+  const auto cfg = config(0.3, 0.15);  // exercise dropout + augment streams
+  const rngx::VariationSeeds seeds;
+  Trainer straight{d, cfg, seeds};
+  straight.run_to_completion();
+  for (std::size_t stop = 1; stop < cfg.epochs; ++stop) {
+    Trainer part{d, cfg, seeds};
+    for (std::size_t e = 0; e < stop; ++e) part.run_epoch();
+    const auto ckpt = part.checkpoint();
+    Trainer resumed{d, cfg, seeds};
+    resumed.restore(ckpt);
+    resumed.run_to_completion();
+    EXPECT_TRUE(models_identical(straight.model(), resumed.model()))
+        << "stop at epoch " << stop;
+  }
+}
+
+TEST(Trainer, AdamCheckpointResume) {
+  const auto d = data();
+  auto cfg = config();
+  cfg.optimizer = OptimizerKind::kAdam;
+  cfg.opt.learning_rate = 0.01;
+  const rngx::VariationSeeds seeds;
+  Trainer straight{d, cfg, seeds};
+  straight.run_to_completion();
+  Trainer part{d, cfg, seeds};
+  part.run_epoch();
+  part.run_epoch();
+  const auto ckpt = part.checkpoint();
+  Trainer resumed{d, cfg, seeds};
+  resumed.restore(ckpt);
+  resumed.run_to_completion();
+  EXPECT_TRUE(models_identical(straight.model(), resumed.model()));
+}
+
+TEST(Trainer, RestoreRejectsLayerMismatch) {
+  const auto d = data();
+  Trainer a{d, config(), rngx::VariationSeeds{}};
+  auto ckpt = a.checkpoint();
+  ckpt.weights.pop_back();
+  Trainer b{d, config(), rngx::VariationSeeds{}};
+  EXPECT_THROW(b.restore(ckpt), std::invalid_argument);
+}
+
+TEST(Trainer, EmptyDatasetThrows) {
+  const Dataset empty;
+  EXPECT_THROW((Trainer{empty, config(), rngx::VariationSeeds{}}),
+               std::invalid_argument);
+}
+
+TEST(ReproAudit, CleanPipelinePasses) {
+  const auto d = data();
+  ReproAuditConfig audit;
+  audit.num_seeds = 2;
+  audit.num_repeats = 2;
+  const auto report = audit_reproducibility(d, config(0.2, 0.1), audit);
+  EXPECT_TRUE(report.passed()) << (report.failures.empty()
+                                       ? ""
+                                       : report.failures.front());
+  EXPECT_TRUE(report.deterministic);
+  EXPECT_TRUE(report.resumable);
+  // Active sources detected as sensitive: order, init, dropout, augment.
+  EXPECT_EQ(report.sensitive_sources.size(), 4u);
+}
+
+TEST(ReproAudit, InactiveSourcesNotSensitive) {
+  const auto d = data();
+  ReproAuditConfig audit;
+  audit.num_seeds = 2;
+  audit.num_repeats = 2;
+  const auto report = audit_reproducibility(d, config(0.0, 0.0), audit);
+  EXPECT_TRUE(report.passed());
+  EXPECT_EQ(report.sensitive_sources.size(), 2u);  // order + init only
+}
+
+TEST(ReproAudit, NumericalNoiseFlagsNonDeterminism) {
+  const auto d = data();
+  auto cfg = config();
+  cfg.numerical_noise_std = 0.01;
+  ReproAuditConfig audit;
+  audit.num_seeds = 2;
+  audit.num_repeats = 2;
+  const auto report = audit_reproducibility(d, cfg, audit);
+  EXPECT_FALSE(report.deterministic);
+  EXPECT_FALSE(report.passed());
+}
+
+TEST(ModelsIdentical, DetectsDifferences) {
+  const auto d = data();
+  const rngx::VariationSeeds a;
+  rngx::VariationSeeds b;
+  b.weight_init = 99;
+  const Mlp m1 = train_mlp(d, config(), a);
+  const Mlp m2 = train_mlp(d, config(), a);
+  const Mlp m3 = train_mlp(d, config(), b);
+  EXPECT_TRUE(models_identical(m1, m2));
+  EXPECT_FALSE(models_identical(m1, m3));
+}
+
+TEST(OptimizerState, SgdSaveLoadRoundTrip) {
+  const auto d = data();
+  const auto cfg = config();
+  const rngx::VariationSeeds seeds;
+  Trainer t{d, cfg, seeds};
+  t.run_epoch();
+  const auto ckpt = t.checkpoint();
+  EXPECT_EQ(ckpt.epoch, 1u);
+  EXPECT_FALSE(ckpt.optimizer.buffers.empty());
+  EXPECT_LT(ckpt.optimizer.lr_scale, 1.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace varbench::ml

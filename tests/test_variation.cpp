@@ -1,0 +1,102 @@
+#include "src/rngx/variation.h"
+
+#include <gtest/gtest.h>
+
+namespace varbench::rngx {
+namespace {
+
+TEST(VariationSeeds, DefaultIsFixed) {
+  const VariationSeeds a;
+  const VariationSeeds b;
+  EXPECT_EQ(a, b);
+}
+
+TEST(VariationSeeds, RandomDrawsAllSources) {
+  Rng master{1};
+  const auto s1 = VariationSeeds::random(master);
+  const auto s2 = VariationSeeds::random(master);
+  EXPECT_NE(s1, s2);
+  EXPECT_NE(s1.data_split, s2.data_split);
+  EXPECT_NE(s1.hpo, s2.hpo);
+}
+
+TEST(VariationSeeds, WithRandomizedChangesOnlyThatSource) {
+  Rng master{2};
+  const VariationSeeds base;
+  const auto changed =
+      base.with_randomized(VariationSource::kWeightInit, master);
+  EXPECT_NE(changed.weight_init, base.weight_init);
+  EXPECT_EQ(changed.data_split, base.data_split);
+  EXPECT_EQ(changed.data_order, base.data_order);
+  EXPECT_EQ(changed.data_augment, base.data_augment);
+  EXPECT_EQ(changed.dropout, base.dropout);
+  EXPECT_EQ(changed.hpo, base.hpo);
+}
+
+TEST(VariationSeeds, NumericalSourceHasNoSeed) {
+  Rng master{3};
+  const VariationSeeds base;
+  const auto same = base.with_randomized(VariationSource::kNumerical, master);
+  EXPECT_EQ(same, base);
+}
+
+TEST(VariationSeeds, WithRandomizedSetChangesAllListed) {
+  Rng master{4};
+  const VariationSeeds base;
+  const auto changed = base.with_randomized_set(kLearningSources, master);
+  EXPECT_NE(changed.data_split, base.data_split);
+  EXPECT_NE(changed.data_order, base.data_order);
+  EXPECT_NE(changed.data_augment, base.data_augment);
+  EXPECT_NE(changed.weight_init, base.weight_init);
+  EXPECT_NE(changed.dropout, base.dropout);
+  EXPECT_EQ(changed.hpo, base.hpo);  // ξH not in the learning subset
+}
+
+TEST(VariationSeeds, SeedForSetSeedRoundTrip) {
+  VariationSeeds s;
+  for (const auto source : kLearningSources) {
+    s.set_seed(source, 777);
+    EXPECT_EQ(s.seed_for(source), 777u);
+  }
+  s.set_seed(VariationSource::kHpo, 888);
+  EXPECT_EQ(s.seed_for(VariationSource::kHpo), 888u);
+}
+
+TEST(VariationSeeds, RngForIsDeterministicPerSource) {
+  const VariationSeeds s;
+  auto a = s.rng_for(VariationSource::kDataOrder);
+  auto b = s.rng_for(VariationSource::kDataOrder);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(VariationSeeds, SameNumericSeedDifferentSourcesIndependent) {
+  // Both sources seeded with the same value must still give different
+  // streams (the source tag is mixed into the stream seed).
+  VariationSeeds s;
+  s.set_seed(VariationSource::kDataOrder, 123);
+  s.set_seed(VariationSource::kDropout, 123);
+  auto a = s.rng_for(VariationSource::kDataOrder);
+  auto b = s.rng_for(VariationSource::kDropout);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(VariationSource, ToStringCoversAll) {
+  for (const auto s : kAllVariationSources) {
+    EXPECT_FALSE(to_string(s).empty());
+    EXPECT_NE(to_string(s), "unknown");
+  }
+}
+
+TEST(VariationSource, LearningSourcesExcludeHpoAndNumerical) {
+  for (const auto s : kLearningSources) {
+    EXPECT_NE(s, VariationSource::kHpo);
+    EXPECT_NE(s, VariationSource::kNumerical);
+  }
+}
+
+}  // namespace
+}  // namespace varbench::rngx

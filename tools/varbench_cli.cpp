@@ -1,0 +1,239 @@
+// varbench — unified command-line front-end.
+//
+//   varbench tasks                         list registered case studies
+//   varbench plan   [--gamma G] [--alpha A] [--beta B]
+//   varbench study  <task> [--reps N] [--scale S]
+//   varbench compare <task> [--runs N] [--scale S] [--lr-mult M] [--gamma G]
+//   varbench hpo    <task> [--algo NAME] [--budget T] [--scale S]
+//   varbench audit  <task> [--scale S]
+//
+// Each subcommand wraps one of the paper's workflows; see README.md.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/varbench.h"
+
+namespace {
+
+using namespace varbench;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+};
+
+Args parse(int argc, char** argv, int from) {
+  Args a;
+  for (int i = from; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        a.options[key] = argv[++i];
+      } else {
+        a.options[key] = "1";
+      }
+    } else {
+      a.positional.push_back(arg);
+    }
+  }
+  return a;
+}
+
+double opt_double(const Args& a, const std::string& key, double fallback) {
+  const auto it = a.options.find(key);
+  return it == a.options.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::size_t opt_size(const Args& a, const std::string& key,
+                     std::size_t fallback) {
+  const auto it = a.options.find(key);
+  return it == a.options.end()
+             ? fallback
+             : static_cast<std::size_t>(std::atol(it->second.c_str()));
+}
+
+std::string opt_string(const Args& a, const std::string& key,
+                       const std::string& fallback) {
+  const auto it = a.options.find(key);
+  return it == a.options.end() ? fallback : it->second;
+}
+
+int cmd_tasks() {
+  std::printf("registered case studies:\n");
+  for (const auto& id : casestudies::case_study_ids()) {
+    const auto& c = casestudies::calibration_for(id);
+    std::printf("  %-18s %-18s metric=%-9s paper n'=%zu\n", id.c_str(),
+                c.paper_task.c_str(), c.metric.c_str(), c.paper_test_size);
+  }
+  return 0;
+}
+
+int cmd_plan(const Args& a) {
+  const double gamma = opt_double(a, "gamma", 0.75);
+  const double alpha = opt_double(a, "alpha", 0.05);
+  const double beta = opt_double(a, "beta", 0.05);
+  const std::size_t n = stats::noether_sample_size(gamma, alpha, beta);
+  std::printf(
+      "gamma=%.2f alpha=%.2f beta=%.2f -> run each algorithm %zu times "
+      "(paired)\n",
+      gamma, alpha, beta, n);
+  return 0;
+}
+
+int cmd_study(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr, "usage: varbench study <task> [--reps N] [--scale S]\n");
+    return 2;
+  }
+  const auto cs = casestudies::make_case_study(a.positional[0],
+                                               opt_double(a, "scale", 0.25));
+  core::VarianceStudyConfig cfg;
+  cfg.repetitions = opt_size(a, "reps", 20);
+  cfg.hpo_algorithms = {"random_search"};
+  cfg.hpo_repetitions = std::max<std::size_t>(3, cfg.repetitions / 4);
+  cfg.hpo_budget = opt_size(a, "budget", 10);
+  rngx::Rng master{opt_size(a, "seed", 42)};
+  const auto study = core::run_variance_study(*cs.pipeline, *cs.pool,
+                                              *cs.splitter, cfg, master);
+  const double boot = study.bootstrap_std();
+  std::printf("%-22s %10s %10s %14s\n", "source", "mean", "std",
+              "std/bootstrap");
+  for (const auto& row : study.rows) {
+    std::printf("%-22s %10.4f %10.4f %14.2f\n", row.label.c_str(), row.mean,
+                row.stddev, boot > 0.0 ? row.stddev / boot : 0.0);
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: varbench compare <task> [--runs N] [--scale S] "
+                 "[--lr-mult M] [--gamma G]\n");
+    return 2;
+  }
+  const auto cs = casestudies::make_case_study(a.positional[0],
+                                               opt_double(a, "scale", 0.25));
+  const double gamma = opt_double(a, "gamma", 0.75);
+  const std::size_t runs =
+      opt_size(a, "runs", stats::noether_sample_size(gamma, 0.05, 0.2));
+  const double mult = opt_double(a, "lr-mult", 0.2);
+
+  auto params_a = cs.pipeline->default_params();
+  auto params_b = params_a;
+  if (params_b.count("learning_rate") != 0) {
+    params_b["learning_rate"] *= mult;
+  } else if (params_b.count("weight_decay") != 0) {
+    params_b["weight_decay"] = std::min(1.0, params_b["weight_decay"] * 100.0);
+  }
+  std::printf("A = defaults; B = defaults with lr x %.2f; %zu paired runs\n",
+              mult, runs);
+  rngx::Rng master{opt_size(a, "seed", 42)};
+  std::vector<double> pa;
+  std::vector<double> pb;
+  for (std::size_t i = 0; i < runs; ++i) {
+    const auto seeds = rngx::VariationSeeds::random(master);
+    pa.push_back(core::measure_with_params(*cs.pipeline, *cs.pool,
+                                           *cs.splitter, params_a, seeds));
+    pb.push_back(core::measure_with_params(*cs.pipeline, *cs.pool,
+                                           *cs.splitter, params_b, seeds));
+  }
+  auto rng = master.split("test");
+  const auto r = stats::test_probability_of_outperforming(pa, pb, rng, gamma);
+  std::printf("mean A = %.4f, mean B = %.4f\n", stats::mean(pa),
+              stats::mean(pb));
+  std::printf("P(A>B) = %.3f, CI [%.3f, %.3f], gamma = %.2f\n",
+              r.p_a_greater_b, r.ci.lower, r.ci.upper, gamma);
+  std::printf("conclusion: %s\n",
+              std::string(stats::to_string(r.conclusion)).c_str());
+  return 0;
+}
+
+int cmd_hpo(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: varbench hpo <task> [--algo NAME] [--budget T] "
+                 "[--scale S]\n");
+    return 2;
+  }
+  const auto cs = casestudies::make_case_study(a.positional[0],
+                                               opt_double(a, "scale", 0.25));
+  const auto algo =
+      hpo::make_hpo_algorithm(opt_string(a, "algo", "bayes_opt"));
+  core::HpoRunConfig cfg;
+  cfg.algorithm = algo.get();
+  cfg.budget = opt_size(a, "budget", 20);
+  rngx::VariationSeeds seeds;
+  seeds.hpo = opt_size(a, "seed", 42);
+  core::FitCounter fits;
+  const double perf = core::run_pipeline_once(*cs.pipeline, *cs.pool,
+                                              *cs.splitter, cfg, seeds, &fits);
+  std::printf("%s on %s: final test %s = %.4f (%zu fits)\n",
+              std::string(algo->name()).c_str(), a.positional[0].c_str(),
+              std::string(ml::to_string(cs.pipeline->metric())).c_str(), perf,
+              fits.fits);
+  return 0;
+}
+
+int cmd_audit(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr, "usage: varbench audit <task> [--scale S]\n");
+    return 2;
+  }
+  const auto cs = casestudies::make_case_study(a.positional[0],
+                                               opt_double(a, "scale", 0.15));
+  const auto cfg = cs.pipeline->resolve_config(cs.pipeline->default_params());
+  ml::ReproAuditConfig audit;
+  audit.num_seeds = 2;
+  audit.num_repeats = 2;
+  const auto report = ml::audit_reproducibility(*cs.pool, cfg, audit);
+  std::printf("deterministic: %s, resumable: %s\n",
+              report.deterministic ? "yes" : "NO",
+              report.resumable ? "yes" : "NO");
+  for (const auto& f : report.failures) std::printf("  finding: %s\n",
+                                                    f.c_str());
+  std::printf("audit %s\n", report.passed() ? "PASSED" : "FAILED");
+  // pascalvoc_fcn intentionally injects numerical noise and must fail.
+  return report.passed() ? 0 : 1;
+}
+
+void usage() {
+  std::printf(
+      "varbench — variance-aware ML benchmarking (MLSys 2021 reproduction)\n"
+      "subcommands:\n"
+      "  tasks                       list case studies\n"
+      "  plan    [--gamma --alpha --beta]\n"
+      "  study   <task> [--reps --scale --budget --seed]\n"
+      "  compare <task> [--runs --scale --lr-mult --gamma --seed]\n"
+      "  hpo     <task> [--algo --budget --scale --seed]\n"
+      "  audit   <task> [--scale]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = parse(argc, argv, 2);
+  try {
+    if (cmd == "tasks") return cmd_tasks();
+    if (cmd == "plan") return cmd_plan(args);
+    if (cmd == "study") return cmd_study(args);
+    if (cmd == "compare") return cmd_compare(args);
+    if (cmd == "hpo") return cmd_hpo(args);
+    if (cmd == "audit") return cmd_audit(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
