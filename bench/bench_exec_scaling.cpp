@@ -1,0 +1,183 @@
+// Serial-vs-parallel throughput of the exec engine on the three converted
+// Monte-Carlo hot paths, plus a determinism audit: every path must produce
+// bit-identical results at every thread count (docs/determinism.md).
+//
+//   VARBENCH_THREADS   max worker count to sweep up to (default: all cores)
+//   VARBENCH_REPS      variance-study repetitions per source (default 24)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/varbench.h"
+
+namespace {
+
+using namespace varbench;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct PathResult {
+  double seconds = 0.0;
+  std::vector<double> signature;  // the raw numbers determinism is judged on
+};
+
+PathResult run_variance_study_path(const core::LearningPipeline& pipeline,
+                                   const ml::Dataset& pool,
+                                   const core::Splitter& splitter,
+                                   std::size_t reps, std::size_t threads) {
+  core::VarianceStudyConfig cfg;
+  cfg.repetitions = reps;
+  cfg.include_numerical_noise = false;
+  cfg.exec = exec::ExecContext{threads};
+  rngx::Rng master{42};
+  const auto start = Clock::now();
+  const auto study = core::run_variance_study(pipeline, pool, splitter, cfg,
+                                              master);
+  PathResult r;
+  r.seconds = seconds_since(start);
+  for (const auto& row : study.rows) {
+    r.signature.insert(r.signature.end(), row.measures.begin(),
+                       row.measures.end());
+  }
+  return r;
+}
+
+PathResult run_bootstrap_path(const std::vector<double>& x,
+                              std::size_t resamples, std::size_t threads) {
+  rngx::Rng rng{7};
+  const auto start = Clock::now();
+  const auto ci = stats::percentile_bootstrap_ci(
+      exec::ExecContext{threads}, x,
+      [](std::span<const double> s) {
+        // A deliberately heavy statistic (median via partial sort).
+        std::vector<double> copy(s.begin(), s.end());
+        std::nth_element(copy.begin(), copy.begin() + copy.size() / 2,
+                         copy.end());
+        return copy[copy.size() / 2];
+      },
+      rng, resamples);
+  PathResult r;
+  r.seconds = seconds_since(start);
+  r.signature = {ci.lower, ci.upper};
+  return r;
+}
+
+PathResult run_error_rates_path(std::size_t simulations, std::size_t threads) {
+  compare::TaskVarianceProfile profile;
+  profile.task = "bench";
+  profile.mu = 0.75;
+  profile.sigma_ideal = 0.02;
+  profile.sigma_bias = 0.01;
+  profile.sigma_within = 0.01;
+  std::vector<std::unique_ptr<compare::ComparisonCriterion>> criteria;
+  criteria.push_back(std::make_unique<compare::AverageComparison>(0.01));
+  criteria.push_back(
+      std::make_unique<compare::ProbOutperformCriterion>(0.75, 100));
+  compare::DetectionRateConfig cfg;
+  cfg.k = 20;
+  cfg.simulations = simulations;
+  cfg.exec = exec::ExecContext{threads};
+  rngx::Rng rng{11};
+  const auto start = Clock::now();
+  const auto curves = compare::characterize_detection_rates(
+      profile, compare::EstimatorKind::kBiased, criteria, cfg, rng);
+  PathResult r;
+  r.seconds = seconds_since(start);
+  for (const auto& [name, rates] : curves.rates) {
+    (void)name;
+    r.signature.insert(r.signature.end(), rates.begin(), rates.end());
+  }
+  return r;
+}
+
+int g_determinism_failures = 0;
+
+template <typename Runner>
+void sweep(const char* path_name, const std::vector<std::size_t>& counts,
+           Runner&& run) {
+  std::printf("\n%-18s %8s %10s %9s  %s\n", path_name, "threads", "seconds",
+              "speedup", "bit-identical");
+  PathResult serial;
+  for (const std::size_t threads : counts) {
+    const PathResult r = run(threads);
+    bool identical = true;
+    if (threads == 1) {
+      serial = r;
+    } else {
+      identical = r.signature == serial.signature;
+      if (!identical) ++g_determinism_failures;
+    }
+    std::printf("%-18s %8zu %10.3f %8.2fx  %s\n", "", threads, r.seconds,
+                r.seconds > 0.0 ? serial.seconds / r.seconds : 0.0,
+                threads == 1 ? "(reference)" : identical ? "yes" : "NO");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t hw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  const std::size_t max_threads =
+      benchutil::env_size("VARBENCH_THREADS", hw);
+  std::vector<std::size_t> counts{1};
+  for (std::size_t t = 2; t <= max_threads; t *= 2) counts.push_back(t);
+  if (counts.back() != max_threads) counts.push_back(max_threads);
+
+  benchutil::header(
+      "exec scaling: serial vs parallel Monte-Carlo hot paths",
+      "parallel runs are bit-identical to serial at every thread count");
+  std::printf("hardware threads: %zu; sweeping up to %zu\n", hw, max_threads);
+
+  // Variance-study repetitions: the paper's heaviest loop (Fig. 1).
+  ml::GaussianMixtureConfig data_cfg;
+  data_cfg.num_classes = 2;
+  data_cfg.dim = 6;
+  data_cfg.n = 300;
+  data_cfg.class_sep = 1.2;
+  data_cfg.label_noise = 0.1;
+  rngx::Rng data_rng{1};
+  const auto pool = ml::make_gaussian_mixture(data_cfg, data_rng);
+  casestudies::MlpPipelineSpec spec;
+  spec.name = "bench";
+  spec.base.model.hidden = {12};
+  spec.base.model.dropout = 0.2;
+  spec.base.augment.jitter_std = 0.1;
+  spec.base.epochs = 6;
+  spec.base.batch_size = 32;
+  spec.space.add({"learning_rate", 0.001, 0.5, hpo::ScaleKind::kLog});
+  spec.defaults = {{"learning_rate", 0.1}};
+  const casestudies::MlpPipeline pipeline{std::move(spec)};
+  const core::OutOfBootstrapSplitter splitter{180, 80};
+  const std::size_t reps = benchutil::env_size("VARBENCH_REPS", 24);
+  sweep("variance_study", counts, [&](std::size_t threads) {
+    return run_variance_study_path(pipeline, pool, splitter, reps, threads);
+  });
+
+  // Bootstrap resampling (Appendix C.5).
+  std::vector<double> sample(4000);
+  rngx::Rng sample_rng{5};
+  for (double& v : sample) v = sample_rng.normal(0.0, 1.0);
+  sweep("bootstrap_ci", counts, [&](std::size_t threads) {
+    return run_bootstrap_path(sample, 4000, threads);
+  });
+
+  // §4.2 error-rate simulation sweep (Fig. 6).
+  sweep("error_rates", counts, [&](std::size_t threads) {
+    return run_error_rates_path(200, threads);
+  });
+
+  if (g_determinism_failures != 0) {
+    std::printf("\nDETERMINISM FAILURES: %d\n", g_determinism_failures);
+    return 1;
+  }
+  std::printf("\nall parallel results bit-identical to serial\n");
+  return 0;
+}

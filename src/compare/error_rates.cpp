@@ -1,6 +1,9 @@
 #include "src/compare/error_rates.h"
 
+#include <cstdint>
 #include <stdexcept>
+
+#include "src/exec/parallel_replicate.h"
 
 namespace varbench::compare {
 
@@ -25,17 +28,33 @@ DetectionCurves characterize_detection_rates(
   const double sigma_single = estimator == EstimatorKind::kIdeal
                                   ? profile.sigma_ideal
                                   : profile.sigma_biased_total();
+  std::vector<double> offsets(curves.p_grid.size(), 0.0);
   for (std::size_t gi = 0; gi < curves.p_grid.size(); ++gi) {
-    const double p_true = curves.p_grid[gi];
-    const double offset = mean_offset_for_probability(p_true, sigma_single);
-    for (std::size_t s = 0; s < config.simulations; ++s) {
-      const auto a =
-          simulate_measures(profile, estimator, offset, config.k, rng);
-      const auto b = simulate_measures(profile, estimator, 0.0, config.k, rng);
-      for (const auto& c : criteria) {
-        if (c->detects(a, b, rng)) {
-          curves.rates[std::string{c->name()}][gi] += 1.0;
+    offsets[gi] = mean_offset_for_probability(curves.p_grid[gi], sigma_single);
+  }
+
+  // One task per (grid point, simulation round) pair, each on its own RNG
+  // stream; every criterion sees the same simulated samples within a round.
+  const std::size_t rounds = curves.p_grid.size() * config.simulations;
+  const auto hits = exec::parallel_replicate<std::vector<std::uint8_t>>(
+      config.exec, rounds, rng, "detection_rates",
+      [&](std::size_t round, rngx::Rng& round_rng) {
+        const std::size_t gi = round / config.simulations;
+        const auto a = simulate_measures(profile, estimator, offsets[gi],
+                                         config.k, round_rng);
+        const auto b =
+            simulate_measures(profile, estimator, 0.0, config.k, round_rng);
+        std::vector<std::uint8_t> detected(criteria.size(), 0);
+        for (std::size_t ci = 0; ci < criteria.size(); ++ci) {
+          detected[ci] = criteria[ci]->detects(a, b, round_rng) ? 1 : 0;
         }
+        return detected;
+      });
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const std::size_t gi = round / config.simulations;
+    for (std::size_t ci = 0; ci < criteria.size(); ++ci) {
+      if (hits[round][ci] != 0) {
+        curves.rates[std::string{criteria[ci]->name()}][gi] += 1.0;
       }
     }
   }

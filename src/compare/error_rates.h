@@ -9,6 +9,7 @@
 
 #include "src/compare/criteria.h"
 #include "src/compare/simulation.h"
+#include "src/exec/exec_context.h"
 
 namespace varbench::compare {
 
@@ -17,6 +18,9 @@ struct DetectionRateConfig {
   std::size_t simulations = 100;  // simulation rounds per grid point
   double gamma = 0.75;            // the H1 threshold
   std::vector<double> p_grid;     // true P(A>B) values; empty → 0.4..1.0
+  // Each (grid point, simulation round) pair runs on its own RNG stream;
+  // curves are bit-identical for every num_threads.
+  exec::ExecContext exec;
 };
 
 struct DetectionCurves {

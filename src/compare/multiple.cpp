@@ -1,9 +1,11 @@
 #include "src/compare/multiple.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 
+#include "src/exec/parallel_replicate.h"
 #include "src/stats/descriptive.h"
 #include "src/stats/tests.h"
 
@@ -43,8 +45,8 @@ math::Matrix pairwise_pab_matrix(const ContestantScores& scores) {
 
 TopGroupResult significance_top_group(const ContestantScores& scores,
                                       rngx::Rng& rng, double gamma,
-                                      double alpha,
-                                      std::size_t num_resamples) {
+                                      double alpha, std::size_t num_resamples,
+                                      const exec::ExecContext& exec) {
   check_scores(scores);
   TopGroupResult result;
   const std::size_t n = scores.size();
@@ -58,25 +60,29 @@ TopGroupResult significance_top_group(const ContestantScores& scores,
     }
   }
   result.adjusted_alpha = stats::bonferroni_alpha(alpha, n - 1);
-  result.group.push_back(result.best);
+  // best vs a, one independent comparison per contestant: if NOT
+  // (significant and meaningful), a stays in the group.
+  const auto in_group = exec::parallel_replicate<std::uint8_t>(
+      exec, n, rng, "top_group",
+      [&](std::size_t a, rngx::Rng& comparison_rng) -> std::uint8_t {
+        if (a == result.best) return 1;
+        const auto r = stats::test_probability_of_outperforming(
+            scores[result.best], scores[a], comparison_rng, gamma,
+            num_resamples, result.adjusted_alpha);
+        return r.conclusion !=
+                       stats::ComparisonConclusion::kSignificantAndMeaningful
+                   ? 1
+                   : 0;
+      });
   for (std::size_t a = 0; a < n; ++a) {
-    if (a == result.best) continue;
-    // best vs a: if NOT (significant and meaningful), a stays in the group.
-    const auto r = stats::test_probability_of_outperforming(
-        scores[result.best], scores[a], rng, gamma, num_resamples,
-        result.adjusted_alpha);
-    if (r.conclusion !=
-        stats::ComparisonConclusion::kSignificantAndMeaningful) {
-      result.group.push_back(a);
-    }
+    if (in_group[a] != 0) result.group.push_back(a);
   }
-  std::sort(result.group.begin(), result.group.end());
   return result;
 }
 
 RankingStability ranking_stability(const ContestantScores& scores,
-                                   rngx::Rng& rng,
-                                   std::size_t num_resamples) {
+                                   rngx::Rng& rng, std::size_t num_resamples,
+                                   const exec::ExecContext& exec) {
   check_scores(scores);
   const std::size_t n = scores.size();
   const std::size_t k = scores.front().size();
@@ -84,20 +90,30 @@ RankingStability ranking_stability(const ContestantScores& scores,
   result.rank_probability = math::Matrix{n, n};
   result.prob_first.assign(n, 0.0);
 
-  std::vector<double> means(n, 0.0);
-  std::vector<std::size_t> order(n);
-  std::vector<std::size_t> idx(k, 0);
-  for (std::size_t b = 0; b < num_resamples; ++b) {
-    for (auto& v : idx) v = rng.uniform_index(k);  // resample splits, paired
-    for (std::size_t a = 0; a < n; ++a) {
-      double s = 0.0;
-      for (const std::size_t i : idx) s += scores[a][i];
-      means[a] = s / static_cast<double>(k);
-    }
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
-      return means[x] > means[y];
-    });
+  // Each resample reports its ranking; counts accumulate serially in
+  // resample order afterwards.
+  const auto orders = exec::parallel_replicate<std::vector<std::size_t>>(
+      exec, num_resamples, rng, "ranking_stability",
+      [&](std::size_t, rngx::Rng& resample_rng) {
+        std::vector<std::size_t> idx(k, 0);
+        for (auto& v : idx) {
+          v = resample_rng.uniform_index(k);  // resample splits, paired
+        }
+        std::vector<double> means(n, 0.0);
+        for (std::size_t a = 0; a < n; ++a) {
+          double s = 0.0;
+          for (const std::size_t i : idx) s += scores[a][i];
+          means[a] = s / static_cast<double>(k);
+        }
+        std::vector<std::size_t> order(n);
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t x, std::size_t y) {
+                    return means[x] > means[y];
+                  });
+        return order;
+      });
+  for (const auto& order : orders) {
     for (std::size_t r = 0; r < n; ++r) {
       result.rank_probability(order[r], r) += 1.0;
     }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/exec/exec_context.h"
 #include "src/math/matrix.h"
 #include "src/rngx/rng.h"
 #include "src/stats/prob_outperform.h"
@@ -30,11 +31,14 @@ struct TopGroupResult {
 
 /// The §5 recommendation: highlight the best performer AND every contestant
 /// whose comparison against it is not both significant and meaningful, at a
-/// Bonferroni-corrected level over the m = n-1 comparisons.
+/// Bonferroni-corrected level over the m = n-1 comparisons. Each comparison
+/// runs on its own derived RNG stream, so the group is bit-identical for
+/// every `exec.num_threads`.
 [[nodiscard]] TopGroupResult significance_top_group(
     const ContestantScores& scores, rngx::Rng& rng,
     double gamma = stats::kDefaultGamma, double alpha = 0.05,
-    std::size_t num_resamples = 500);
+    std::size_t num_resamples = 500,
+    const exec::ExecContext& exec = exec::ExecContext::serial());
 
 struct RankingStability {
   // rank_probability(a, r): probability contestant a lands at rank r
@@ -44,8 +48,10 @@ struct RankingStability {
 };
 
 /// Bootstrap the k paired splits and recompute the ranking each time.
-[[nodiscard]] RankingStability ranking_stability(const ContestantScores& scores,
-                                                 rngx::Rng& rng,
-                                                 std::size_t num_resamples = 1000);
+/// Each resample runs on its own derived RNG stream (thread-count invariant).
+[[nodiscard]] RankingStability ranking_stability(
+    const ContestantScores& scores, rngx::Rng& rng,
+    std::size_t num_resamples = 1000,
+    const exec::ExecContext& exec = exec::ExecContext::serial());
 
 }  // namespace varbench::compare

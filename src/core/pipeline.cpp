@@ -40,7 +40,7 @@ hpo::ParamPoint run_hpo(const LearningPipeline& pipeline,
                                              seeds);
   };
   const hpo::HpoResult result = config.algorithm->optimize(
-      pipeline.search_space(), objective, config.budget, hpo_rng);
+      config.exec, pipeline.search_space(), objective, config.budget, hpo_rng);
   return result.best;
 }
 

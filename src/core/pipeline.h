@@ -2,10 +2,12 @@
 // P(S_tv) = Opt(S_tv, HOpt(S_tv)): split → tune → retrain → measure.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string_view>
 
 #include "src/core/splitter.h"
+#include "src/exec/exec_context.h"
 #include "src/hpo/hpo.h"
 #include "src/ml/dataset.h"
 #include "src/ml/metrics.h"
@@ -40,15 +42,16 @@ class LearningPipeline {
 
 /// Counts Opt() invocations — the unit of the paper's O(k·T) vs O(k+T)
 /// compute comparison (Fig. 4). Every HPO trial and every final retraining
-/// is one fit.
+/// is one fit. Atomic because HPO trials may now evaluate concurrently.
 struct FitCounter {
-  std::size_t fits = 0;
+  std::atomic<std::size_t> fits{0};
 };
 
 struct HpoRunConfig {
   const hpo::HpoAlgorithm* algorithm = nullptr;  // nullptr → defaults, no HPO
   std::size_t budget = 50;        // T: number of HPO trials
   double validation_fraction = 0.25;  // inner S_t / S_v split of S_tv
+  exec::ExecContext exec;         // fan-out for independent trial evaluations
 };
 
 /// HOpt(S_tv; ξO, ξH): tune hyperparameters on an inner train/valid split of

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/exec/parallel_replicate.h"
 #include "src/stats/descriptive.h"
 
 namespace varbench::core {
@@ -53,25 +54,23 @@ VarianceStudyResult run_variance_study(const LearningPipeline& pipeline,
   };
 
   for (const auto& probe : kProbes) {
-    std::vector<double> measures;
-    measures.reserve(config.repetitions);
-    for (std::size_t r = 0; r < config.repetitions; ++r) {
-      const auto seeds = base.with_randomized(probe.source, master);
-      measures.push_back(
-          measure_with_params(pipeline, pool, splitter, defaults, seeds));
-    }
+    auto measures = exec::parallel_replicate<double>(
+        config.exec, config.repetitions, master, rngx::to_string(probe.source),
+        [&](std::size_t, rngx::Rng& rng) {
+          const auto seeds = base.with_randomized(probe.source, rng);
+          return measure_with_params(pipeline, pool, splitter, defaults, seeds);
+        });
     result.rows.push_back(
         summarize(probe.source, probe.label, std::move(measures)));
   }
 
   if (config.include_numerical_noise) {
     // All seeds fixed; any remaining fluctuation is "numerical noise".
-    std::vector<double> measures;
-    measures.reserve(config.repetitions);
-    for (std::size_t r = 0; r < config.repetitions; ++r) {
-      measures.push_back(
-          measure_with_params(pipeline, pool, splitter, defaults, base));
-    }
+    auto measures = exec::parallel_replicate<double>(
+        config.exec, config.repetitions, master, "numerical_noise",
+        [&](std::size_t, rngx::Rng&) {
+          return measure_with_params(pipeline, pool, splitter, defaults, base);
+        });
     result.rows.push_back(summarize(rngx::VariationSource::kNumerical,
                                     "Numerical noise", std::move(measures)));
   }
@@ -84,18 +83,20 @@ VarianceStudyResult run_variance_study(const LearningPipeline& pipeline,
     hpo_cfg.algorithm = algorithm.get();
     hpo_cfg.budget = config.hpo_budget;
     hpo_cfg.validation_fraction = config.validation_fraction;
-    std::vector<double> measures;
-    measures.reserve(config.hpo_repetitions);
-    for (std::size_t r = 0; r < config.hpo_repetitions; ++r) {
-      const auto seeds =
-          base.with_randomized(rngx::VariationSource::kHpo, master);
-      auto split_rng = seeds.rng_for(rngx::VariationSource::kDataSplit);
-      const Split s = splitter.split(pool, split_rng);
-      const auto [trainvalid, test] = materialize(pool, s);
-      const auto lambda = run_hpo(pipeline, trainvalid, hpo_cfg, seeds);
-      measures.push_back(
-          pipeline.train_and_evaluate(trainvalid, test, lambda, seeds));
-    }
+    // The repetition loop owns the hardware; HOpt's trial loop stays serial
+    // inside each repetition to avoid oversubscription.
+    hpo_cfg.exec = exec::ExecContext::serial();
+    auto measures = exec::parallel_replicate<double>(
+        config.exec, config.hpo_repetitions, master, algo_name,
+        [&](std::size_t, rngx::Rng& rng) {
+          const auto seeds =
+              base.with_randomized(rngx::VariationSource::kHpo, rng);
+          auto split_rng = seeds.rng_for(rngx::VariationSource::kDataSplit);
+          const Split s = splitter.split(pool, split_rng);
+          const auto [trainvalid, test] = materialize(pool, s);
+          const auto lambda = run_hpo(pipeline, trainvalid, hpo_cfg, seeds);
+          return pipeline.train_and_evaluate(trainvalid, test, lambda, seeds);
+        });
     result.rows.push_back(summarize(rngx::VariationSource::kHpo,
                                     std::string{algorithm->name()},
                                     std::move(measures)));

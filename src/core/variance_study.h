@@ -8,6 +8,7 @@
 
 #include "src/core/estimators.h"
 #include "src/core/pipeline.h"
+#include "src/exec/exec_context.h"
 
 namespace varbench::core {
 
@@ -28,6 +29,9 @@ struct VarianceStudyConfig {
   std::size_t hpo_budget = 30;              // paper: 200 trials
   double validation_fraction = 0.25;
   bool include_numerical_noise = true;
+  // Repetitions are independent given per-index RNG streams; the study result
+  // is bit-identical for every num_threads (see docs/determinism.md).
+  exec::ExecContext exec;
 };
 
 struct VarianceStudyResult {

@@ -1,0 +1,18 @@
+// varbench::exec — deterministic parallel execution engine.
+//
+// The three layers, bottom-up:
+//   ThreadPool          process-wide workers, grow-on-demand   (thread_pool.h)
+//   parallel_for        chunked self-scheduling index loops    (parallel_for.h)
+//   parallel_replicate  per-index RNG streams → bit-identical
+//                       Monte-Carlo results at any thread count
+//                                                         (parallel_replicate.h)
+//
+// Consumers receive an ExecContext (exec_context.h) through their config
+// structs; ExecContext::serial() is both the default and what nested regions
+// use when an outer loop already owns the hardware.
+#pragma once
+
+#include "src/exec/exec_context.h"        // IWYU pragma: export
+#include "src/exec/parallel_for.h"        // IWYU pragma: export
+#include "src/exec/parallel_replicate.h"  // IWYU pragma: export
+#include "src/exec/thread_pool.h"         // IWYU pragma: export

@@ -1,0 +1,39 @@
+// Execution context threaded through every Monte-Carlo hot path.
+//
+// varbench's parallelism contract (see docs/determinism.md): results are
+// bit-identical regardless of `num_threads`, because randomized work items
+// never share an RNG stream — each task index derives its own child stream
+// from a (master seed, tag, index) triple. The ExecContext only decides how
+// the index space is scheduled onto threads, never what each index computes.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+namespace varbench::exec {
+
+struct ExecContext {
+  /// 0 → use std::thread::hardware_concurrency(); 1 → run inline (serial);
+  /// N → up to N OS threads per parallel region.
+  std::size_t num_threads = 1;
+
+  /// The actual worker count to schedule with (never 0).
+  [[nodiscard]] std::size_t resolved_threads() const {
+    if (num_threads != 0) return num_threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+
+  [[nodiscard]] bool is_serial() const { return resolved_threads() <= 1; }
+
+  /// Inline execution — what nested regions use when an outer region already
+  /// owns the hardware (avoids oversubscription).
+  [[nodiscard]] static ExecContext serial() { return ExecContext{1}; }
+
+  /// All hardware threads.
+  [[nodiscard]] static ExecContext hardware() { return ExecContext{0}; }
+
+  friend bool operator==(const ExecContext&, const ExecContext&) = default;
+};
+
+}  // namespace varbench::exec

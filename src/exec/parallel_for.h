@@ -1,0 +1,94 @@
+// parallel_for: chunked, self-scheduling index loop on the global pool.
+//
+// Scheduling is dynamic (an atomic chunk cursor), so thread assignment is
+// nondeterministic — which is exactly why bodies must depend only on their
+// index, never on which thread runs them or in what order. Determinism of
+// every randomized caller comes from parallel_replicate's per-index streams.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <latch>
+#include <mutex>
+
+#include "src/exec/exec_context.h"
+#include "src/exec/thread_pool.h"
+
+namespace varbench::exec {
+
+namespace detail {
+/// True while the current thread is inside a parallel_for region. Nested
+/// regions run inline: helper tasks waiting on a nested region would
+/// otherwise occupy every pool worker while the nested region's own tasks
+/// sit queued behind them — a permanent deadlock.
+inline thread_local bool t_in_parallel_region = false;
+}  // namespace detail
+
+/// Invoke `body(i)` for every i in [begin, end). Blocks until done.
+///
+/// `grain` is the number of consecutive indices a worker claims at a time
+/// (0 → automatic: ~8 chunks per worker, the classic balance between
+/// scheduling overhead and tail latency). The first exception thrown by any
+/// body cancels remaining chunks and is rethrown on the calling thread.
+/// Nested calls (from inside a body) always run inline.
+template <typename Body>
+void parallel_for(const ExecContext& ctx, std::size_t begin, std::size_t end,
+                  Body&& body, std::size_t grain = 0) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  std::size_t threads = ctx.resolved_threads();
+  if (threads > n) threads = n;
+  if (detail::t_in_parallel_region) threads = 1;
+
+  if (threads <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  if (grain == 0) grain = std::max<std::size_t>(1, n / (threads * 8));
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto drain = [&] {
+    const bool was_in_region = detail::t_in_parallel_region;
+    detail::t_in_parallel_region = true;
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock{error_mu};
+          if (!first_error) first_error = std::current_exception();
+        }
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    detail::t_in_parallel_region = was_in_region;
+  };
+
+  const std::size_t helpers = threads - 1;  // the caller participates too
+  ThreadPool& pool = ThreadPool::global();
+  pool.ensure_workers(helpers);
+  std::latch done{static_cast<std::ptrdiff_t>(helpers)};
+  for (std::size_t t = 0; t < helpers; ++t) {
+    pool.submit([&] {
+      drain();
+      done.count_down();
+    });
+  }
+  drain();
+  done.wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace varbench::exec

@@ -1,0 +1,59 @@
+#include "src/exec/thread_pool.h"
+
+#include <utility>
+
+namespace varbench::exec {
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool{0};
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t num_workers) { ensure_workers(num_workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::ensure_workers(std::size_t n) {
+  const std::lock_guard<std::mutex> lock{mu_};
+  while (workers_.size() < n) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+std::size_t ThreadPool::num_workers() const {
+  const std::lock_guard<std::mutex> lock{mu_};
+  return workers_.size();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock{mu_};
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace varbench::exec

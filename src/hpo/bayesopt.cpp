@@ -17,10 +17,12 @@ double expected_improvement(double mean, double variance, double best,
          sigma * stats::normal_pdf(z);
 }
 
-HpoResult BayesianOptimization::optimize(const SearchSpace& space,
+HpoResult BayesianOptimization::optimize(const exec::ExecContext& ctx,
+                                         const SearchSpace& space,
                                          const Objective& objective,
                                          std::size_t budget,
                                          rngx::Rng& rng) const {
+  (void)ctx;  // sequential by nature; see header
   if (space.empty() || budget == 0) {
     throw std::invalid_argument("BayesianOptimization: bad inputs");
   }

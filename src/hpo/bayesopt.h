@@ -20,7 +20,11 @@ class BayesianOptimization final : public HpoAlgorithm {
   explicit BayesianOptimization(BayesOptConfig config = {})
       : config_{config} {}
 
-  [[nodiscard]] HpoResult optimize(const SearchSpace& space,
+  using HpoAlgorithm::optimize;
+  // Inherently sequential (each trial conditions on the previous posterior):
+  // `ctx` is ignored and the run is serial.
+  [[nodiscard]] HpoResult optimize(const exec::ExecContext& ctx,
+                                   const SearchSpace& space,
                                    const Objective& objective,
                                    std::size_t budget,
                                    rngx::Rng& rng) const override;

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/exec/parallel_for.h"
 #include "src/hpo/bayesopt.h"
 
 namespace varbench::hpo {
@@ -23,14 +24,30 @@ std::vector<double> HpoResult::best_so_far() const {
 
 namespace {
 
-void evaluate_and_record(HpoResult& result, const Objective& objective,
-                         ParamPoint params) {
-  const double obj = objective(params);
+void record(HpoResult& result, ParamPoint params, double obj) {
   if (result.trials.empty() || obj < result.best_objective) {
     result.best = params;
     result.best_objective = obj;
   }
   result.trials.push_back({std::move(params), obj});
+}
+
+/// Evaluate a pre-sampled trial list — possibly in parallel — and record the
+/// trials in list order, so the result is identical for every thread count.
+HpoResult evaluate_trials(const exec::ExecContext& ctx,
+                          const Objective& objective,
+                          std::vector<ParamPoint> points) {
+  std::vector<double> objectives(points.size(), 0.0);
+  exec::parallel_for(
+      ctx, 0, points.size(),
+      [&](std::size_t i) { objectives[i] = objective(points[i]); },
+      /*grain=*/1);
+  HpoResult result;
+  result.trials.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    record(result, std::move(points[i]), objectives[i]);
+  }
+  return result;
 }
 
 /// Per-dimension grid step Δ in the dimension's working scale
@@ -63,8 +80,8 @@ std::vector<double> grid_values_shifted(const Dimension& d, std::size_t n,
 /// Full-factorial enumeration of `per_dim` values, capped at `budget` trials.
 /// When `shuffle_rng` is non-null the enumeration order is randomized, so a
 /// budget smaller than the full grid still samples every dimension.
-HpoResult run_grid(const SearchSpace& space, const Objective& objective,
-                   std::size_t budget,
+HpoResult run_grid(const exec::ExecContext& ctx, const SearchSpace& space,
+                   const Objective& objective, std::size_t budget,
                    const std::vector<std::vector<double>>& per_dim,
                    rngx::Rng* shuffle_rng = nullptr) {
   const std::size_t d = space.size();
@@ -73,8 +90,10 @@ HpoResult run_grid(const SearchSpace& space, const Objective& objective,
   std::vector<std::size_t> order(total);
   std::iota(order.begin(), order.end(), std::size_t{0});
   if (shuffle_rng != nullptr) shuffle_rng->shuffle(order);
+  if (order.size() > budget) order.resize(budget);
 
-  HpoResult result;
+  std::vector<ParamPoint> points;
+  points.reserve(order.size());
   for (const std::size_t flat : order) {
     ParamPoint p;
     std::size_t rem = flat;
@@ -82,10 +101,9 @@ HpoResult run_grid(const SearchSpace& space, const Objective& objective,
       p[space.dim(i).name] = per_dim[i][rem % per_dim[i].size()];
       rem /= per_dim[i].size();
     }
-    evaluate_and_record(result, objective, std::move(p));
-    if (result.trials.size() >= budget) break;
+    points.push_back(std::move(p));
   }
-  return result;
+  return evaluate_trials(ctx, objective, std::move(points));
 }
 
 std::size_t grid_resolution(std::size_t budget, std::size_t num_dims) {
@@ -100,7 +118,8 @@ std::vector<double> grid_values(const Dimension& d, std::size_t n) {
   return grid_values_shifted(d, n, 0.0, 0.0);
 }
 
-HpoResult RandomSearch::optimize(const SearchSpace& space,
+HpoResult RandomSearch::optimize(const exec::ExecContext& ctx,
+                                 const SearchSpace& space,
                                  const Objective& objective,
                                  std::size_t budget, rngx::Rng& rng) const {
   if (space.empty() || budget == 0) {
@@ -108,8 +127,11 @@ HpoResult RandomSearch::optimize(const SearchSpace& space,
   }
   // Enlarged bounds (Appendix E.3): ±Δ/2 where Δ is the step of the grid an
   // equal budget would use, so random search covers the noisy grid's support.
+  // All candidates are sampled from `rng` up front — the draw sequence is
+  // exactly the serial one — and only the evaluations fan out.
   const std::size_t n_per_dim = grid_resolution(budget, space.size());
-  HpoResult result;
+  std::vector<ParamPoint> points;
+  points.reserve(budget);
   for (std::size_t t = 0; t < budget; ++t) {
     ParamPoint p;
     for (const auto& d : space.dims()) {
@@ -126,12 +148,13 @@ HpoResult RandomSearch::optimize(const SearchSpace& space,
       if (d.integer) v = std::max(std::round(v), 1.0);
       p[d.name] = v;
     }
-    evaluate_and_record(result, objective, std::move(p));
+    points.push_back(std::move(p));
   }
-  return result;
+  return evaluate_trials(ctx, objective, std::move(points));
 }
 
-HpoResult GridSearch::optimize(const SearchSpace& space,
+HpoResult GridSearch::optimize(const exec::ExecContext& ctx,
+                               const SearchSpace& space,
                                const Objective& objective, std::size_t budget,
                                rngx::Rng& rng) const {
   (void)rng;  // fully deterministic
@@ -142,10 +165,11 @@ HpoResult GridSearch::optimize(const SearchSpace& space,
   std::vector<std::vector<double>> per_dim;
   per_dim.reserve(space.size());
   for (const auto& d : space.dims()) per_dim.push_back(grid_values(d, n));
-  return run_grid(space, objective, budget, per_dim);
+  return run_grid(ctx, space, objective, budget, per_dim);
 }
 
-HpoResult NoisyGridSearch::optimize(const SearchSpace& space,
+HpoResult NoisyGridSearch::optimize(const exec::ExecContext& ctx,
+                                    const SearchSpace& space,
                                     const Objective& objective,
                                     std::size_t budget, rngx::Rng& rng) const {
   if (space.empty() || budget == 0) {
@@ -165,7 +189,7 @@ HpoResult NoisyGridSearch::optimize(const SearchSpace& space,
     const double hi_shift = rng.uniform(-half, half);
     per_dim.push_back(grid_values_shifted(d, n, lo_shift, hi_shift));
   }
-  return run_grid(space, objective, budget, per_dim, &rng);
+  return run_grid(ctx, space, objective, budget, per_dim, &rng);
 }
 
 std::unique_ptr<HpoAlgorithm> make_hpo_algorithm(std::string_view name) {

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/exec/exec_context.h"
 #include "src/hpo/space.h"
 #include "src/rngx/rng.h"
 
@@ -39,11 +40,26 @@ class HpoAlgorithm {
   HpoAlgorithm& operator=(const HpoAlgorithm&) = delete;
 
   /// Run up to `budget` objective evaluations. `rng` carries ξH — all of the
-  /// algorithm's stochasticity must come from it.
-  [[nodiscard]] virtual HpoResult optimize(const SearchSpace& space,
+  /// algorithm's stochasticity must come from it. Trial *parameters* are
+  /// always drawn from `rng` in serial order; objective evaluations may fan
+  /// out over `ctx` (requires a thread-safe objective), and the result
+  /// (trials, best) is bit-identical for every thread count. Algorithms that
+  /// are inherently sequential (Bayesian optimization conditions each trial
+  /// on the previous posterior) ignore `ctx` and run serially.
+  [[nodiscard]] virtual HpoResult optimize(const exec::ExecContext& ctx,
+                                           const SearchSpace& space,
                                            const Objective& objective,
                                            std::size_t budget,
                                            rngx::Rng& rng) const = 0;
+
+  /// Serial convenience — the same computation with no fan-out.
+  [[nodiscard]] HpoResult optimize(const SearchSpace& space,
+                                   const Objective& objective,
+                                   std::size_t budget, rngx::Rng& rng) const {
+    return optimize(exec::ExecContext::serial(), space, objective, budget,
+                    rng);
+  }
+
   [[nodiscard]] virtual std::string_view name() const = 0;
 };
 
@@ -54,7 +70,9 @@ class RandomSearch final : public HpoAlgorithm {
  public:
   explicit RandomSearch(bool enlarge_bounds = true)
       : enlarge_bounds_{enlarge_bounds} {}
-  [[nodiscard]] HpoResult optimize(const SearchSpace& space,
+  using HpoAlgorithm::optimize;
+  [[nodiscard]] HpoResult optimize(const exec::ExecContext& ctx,
+                                   const SearchSpace& space,
                                    const Objective& objective,
                                    std::size_t budget,
                                    rngx::Rng& rng) const override;
@@ -70,7 +88,9 @@ class RandomSearch final : public HpoAlgorithm {
 /// dimension (Appendix E.1). Ignores ξH entirely.
 class GridSearch final : public HpoAlgorithm {
  public:
-  [[nodiscard]] HpoResult optimize(const SearchSpace& space,
+  using HpoAlgorithm::optimize;
+  [[nodiscard]] HpoResult optimize(const exec::ExecContext& ctx,
+                                   const SearchSpace& space,
                                    const Objective& objective,
                                    std::size_t budget,
                                    rngx::Rng& rng) const override;
@@ -83,7 +103,9 @@ class GridSearch final : public HpoAlgorithm {
 /// E[noisy grid] = plain grid.
 class NoisyGridSearch final : public HpoAlgorithm {
  public:
-  [[nodiscard]] HpoResult optimize(const SearchSpace& space,
+  using HpoAlgorithm::optimize;
+  [[nodiscard]] HpoResult optimize(const exec::ExecContext& ctx,
+                                   const SearchSpace& space,
                                    const Objective& objective,
                                    std::size_t budget,
                                    rngx::Rng& rng) const override;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/exec/parallel_replicate.h"
 #include "src/stats/descriptive.h"
 
 namespace varbench::stats {
@@ -15,16 +16,52 @@ std::vector<double> bootstrap_resample(std::span<const double> x,
 }
 
 ConfidenceInterval percentile_bootstrap_ci(
-    std::span<const double> x,
+    const exec::ExecContext& ctx, std::span<const double> x,
     const std::function<double(std::span<const double>)>& statistic,
     rngx::Rng& rng, std::size_t num_resamples, double alpha) {
   if (x.empty()) throw std::invalid_argument("percentile_bootstrap_ci: empty");
-  std::vector<double> stats;
-  stats.reserve(num_resamples);
-  for (std::size_t i = 0; i < num_resamples; ++i) {
-    const auto resample = bootstrap_resample(x, rng);
-    stats.push_back(statistic(resample));
+  const auto stats = exec::parallel_replicate<double>(
+      ctx, num_resamples, rng, "bootstrap",
+      [&](std::size_t, rngx::Rng& resample_rng) {
+        const auto resample = bootstrap_resample(x, resample_rng);
+        return statistic(resample);
+      });
+  return ConfidenceInterval{quantile(stats, alpha / 2.0),
+                            quantile(stats, 1.0 - alpha / 2.0), 1.0 - alpha};
+}
+
+ConfidenceInterval percentile_bootstrap_ci(
+    std::span<const double> x,
+    const std::function<double(std::span<const double>)>& statistic,
+    rngx::Rng& rng, std::size_t num_resamples, double alpha) {
+  return percentile_bootstrap_ci(exec::ExecContext::serial(), x, statistic,
+                                 rng, num_resamples, alpha);
+}
+
+ConfidenceInterval paired_percentile_bootstrap_ci(
+    const exec::ExecContext& ctx, std::span<const double> a,
+    std::span<const double> b,
+    const std::function<double(std::span<const double>,
+                               std::span<const double>)>& statistic,
+    rngx::Rng& rng, std::size_t num_resamples, double alpha) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("paired_percentile_bootstrap_ci: bad inputs");
   }
+  const std::size_t n = a.size();
+  const auto stats = exec::parallel_replicate<double>(
+      ctx, num_resamples, rng, "paired_bootstrap",
+      [&](std::size_t, rngx::Rng& resample_rng) {
+        // Per-resample buffers: re-entrant (the statistic may bootstrap too)
+        // at the cost of one allocation per resample, like the unpaired CI.
+        std::vector<double> ra(n);
+        std::vector<double> rb(n);
+        for (std::size_t j = 0; j < n; ++j) {
+          const std::size_t idx = resample_rng.uniform_index(n);
+          ra[j] = a[idx];
+          rb[j] = b[idx];
+        }
+        return statistic(ra, rb);
+      });
   return ConfidenceInterval{quantile(stats, alpha / 2.0),
                             quantile(stats, 1.0 - alpha / 2.0), 1.0 - alpha};
 }
@@ -34,24 +71,8 @@ ConfidenceInterval paired_percentile_bootstrap_ci(
     const std::function<double(std::span<const double>,
                                std::span<const double>)>& statistic,
     rngx::Rng& rng, std::size_t num_resamples, double alpha) {
-  if (a.size() != b.size() || a.empty()) {
-    throw std::invalid_argument("paired_percentile_bootstrap_ci: bad inputs");
-  }
-  const std::size_t n = a.size();
-  std::vector<double> ra(n);
-  std::vector<double> rb(n);
-  std::vector<double> stats;
-  stats.reserve(num_resamples);
-  for (std::size_t i = 0; i < num_resamples; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      const std::size_t idx = rng.uniform_index(n);
-      ra[j] = a[idx];
-      rb[j] = b[idx];
-    }
-    stats.push_back(statistic(ra, rb));
-  }
-  return ConfidenceInterval{quantile(stats, alpha / 2.0),
-                            quantile(stats, 1.0 - alpha / 2.0), 1.0 - alpha};
+  return paired_percentile_bootstrap_ci(exec::ExecContext::serial(), a, b,
+                                        statistic, rng, num_resamples, alpha);
 }
 
 }  // namespace varbench::stats

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "src/exec/exec_context.h"
 #include "src/rngx/rng.h"
 
 namespace varbench::stats {
@@ -26,6 +27,14 @@ struct ConfidenceInterval {
 /// Percentile-bootstrap CI of an arbitrary statistic of one sample.
 /// `statistic` is evaluated on `num_resamples` bootstrap resamples; the CI is
 /// the (α/2, 1−α/2) percentile pair of those evaluations.
+///
+/// Resample i draws from its own RNG stream derived from (one u64 drawn from
+/// `rng`, i), so the CI is bit-identical for every `ctx.num_threads`; the
+/// ctx-less overload is the serial special case of the same computation.
+[[nodiscard]] ConfidenceInterval percentile_bootstrap_ci(
+    const exec::ExecContext& ctx, std::span<const double> x,
+    const std::function<double(std::span<const double>)>& statistic,
+    rngx::Rng& rng, std::size_t num_resamples = 1000, double alpha = 0.05);
 [[nodiscard]] ConfidenceInterval percentile_bootstrap_ci(
     std::span<const double> x,
     const std::function<double(std::span<const double>)>& statistic,
@@ -33,6 +42,13 @@ struct ConfidenceInterval {
 
 /// Percentile-bootstrap CI of a statistic of *paired* samples (a_i, b_i):
 /// pairs are resampled together, preserving the pairing (Appendix C.5).
+/// Same determinism contract as percentile_bootstrap_ci.
+[[nodiscard]] ConfidenceInterval paired_percentile_bootstrap_ci(
+    const exec::ExecContext& ctx, std::span<const double> a,
+    std::span<const double> b,
+    const std::function<double(std::span<const double>,
+                               std::span<const double>)>& statistic,
+    rngx::Rng& rng, std::size_t num_resamples = 1000, double alpha = 0.05);
 [[nodiscard]] ConfidenceInterval paired_percentile_bootstrap_ci(
     std::span<const double> a, std::span<const double> b,
     const std::function<double(std::span<const double>,

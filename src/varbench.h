@@ -7,6 +7,8 @@
 // Layering (each namespace is its own static library):
 //   varbench::math        dense matrices, Cholesky/linear solvers
 //   varbench::rngx        reproducible RNG + named variation-seed streams (ξ)
+//   varbench::exec        deterministic parallel execution (thread pool,
+//                         parallel_for, per-index-stream parallel_replicate)
 //   varbench::stats       distributions, tests, bootstrap, P(A>B), sample size
 //   varbench::ml          datasets, MLPs, optimizers, metrics, training (Opt)
 //   varbench::hpo         search spaces, grid/random/Bayesian HPO (HOpt)
@@ -27,6 +29,7 @@
 #include "src/core/pipeline.h"                // IWYU pragma: export
 #include "src/core/splitter.h"                // IWYU pragma: export
 #include "src/core/variance_study.h"          // IWYU pragma: export
+#include "src/exec/exec.h"                    // IWYU pragma: export
 #include "src/hpo/bayesopt.h"                 // IWYU pragma: export
 #include "src/hpo/gp.h"                       // IWYU pragma: export
 #include "src/hpo/hpo.h"                      // IWYU pragma: export

@@ -1,0 +1,174 @@
+#include "src/exec/exec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <latch>
+#include <stdexcept>
+#include <vector>
+
+namespace varbench::exec {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool{3};
+  EXPECT_EQ(pool.num_workers(), 3u);
+  std::atomic<int> count{0};
+  std::latch done{8};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      count.fetch_add(1);
+      done.count_down();
+    });
+  }
+  done.wait();
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, EnsureWorkersGrowsButNeverShrinks) {
+  ThreadPool pool{1};
+  pool.ensure_workers(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  pool.ensure_workers(2);
+  EXPECT_EQ(pool.num_workers(), 4u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    std::vector<std::atomic<int>> visits(257);
+    for (auto& v : visits) v.store(0);
+    parallel_for(ExecContext{threads}, 0, visits.size(),
+                 [&](std::size_t i) { visits[i].fetch_add(1); });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyAndReversedRangesAreNoOps) {
+  int calls = 0;
+  parallel_for(ExecContext{4}, 5, 5, [&](std::size_t) { ++calls; });
+  parallel_for(ExecContext{4}, 7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, HonorsExplicitGrain) {
+  std::atomic<int> count{0};
+  parallel_for(
+      ExecContext{4}, 0, 100, [&](std::size_t) { count.fetch_add(1); },
+      /*grain=*/7);
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, NestedRegionsRunInlineWithoutDeadlock) {
+  // A nested non-serial region must not wait on pool workers that are all
+  // busy with the outer region — it runs inline on the current thread.
+  std::atomic<int> inner_total{0};
+  parallel_for(ExecContext{4}, 0, 8, [&](std::size_t) {
+    parallel_for(ExecContext{4}, 0, 16,
+                 [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+  // After the outer region, top-level calls parallelize again (flag reset).
+  std::atomic<int> top_level{0};
+  parallel_for(ExecContext{4}, 0, 32,
+               [&](std::size_t) { top_level.fetch_add(1); });
+  EXPECT_EQ(top_level.load(), 32);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  for (const std::size_t threads : {1u, 4u}) {
+    EXPECT_THROW(
+        parallel_for(ExecContext{threads}, 0, 64,
+                     [&](std::size_t i) {
+                       if (i == 13) throw std::runtime_error("boom");
+                     }),
+        std::runtime_error);
+  }
+}
+
+TEST(ExecContext, SerialAndResolution) {
+  EXPECT_TRUE(ExecContext::serial().is_serial());
+  EXPECT_EQ(ExecContext{5}.resolved_threads(), 5u);
+  // 0 = hardware concurrency, which is always at least one thread.
+  EXPECT_GE(ExecContext::hardware().resolved_threads(), 1u);
+}
+
+TEST(ReplicateSeed, DeterministicAndDistinctPerIndex) {
+  EXPECT_EQ(replicate_seed(42, 7), replicate_seed(42, 7));
+  std::vector<std::uint64_t> seeds(1000);
+  for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = replicate_seed(9, i);
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(ParallelReplicate, BitIdenticalAcrossThreadCounts) {
+  auto run = [](std::size_t threads) {
+    return parallel_replicate<double>(
+        ExecContext{threads}, 100, /*master_seed=*/123, "replicate_test",
+        [](std::size_t i, rngx::Rng& rng) {
+          return rng.normal() + static_cast<double>(i) * rng.uniform();
+        });
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ParallelReplicate, MasterAdvancesOneDrawRegardlessOfThreads) {
+  rngx::Rng m1{77};
+  rngx::Rng m2{77};
+  (void)parallel_replicate<double>(ExecContext{1}, 10, m1, "t",
+                                   [](std::size_t, rngx::Rng& r) {
+                                     return r.uniform();
+                                   });
+  (void)parallel_replicate<double>(ExecContext{8}, 1000, m2, "t",
+                                   [](std::size_t, rngx::Rng& r) {
+                                     return r.uniform();
+                                   });
+  EXPECT_EQ(m1.next_u64(), m2.next_u64());
+}
+
+TEST(ParallelReplicate, DistinctTagsGiveDistinctStreams) {
+  const auto a = parallel_replicate<double>(
+      ExecContext{2}, 50, /*master_seed=*/5, "stream_a",
+      [](std::size_t, rngx::Rng& r) { return r.uniform(); });
+  const auto b = parallel_replicate<double>(
+      ExecContext{2}, 50, /*master_seed=*/5, "stream_b",
+      [](std::size_t, rngx::Rng& r) { return r.uniform(); });
+  EXPECT_NE(a, b);
+}
+
+// The Rng::split contract the whole engine rests on: same tag → identical
+// stream, distinct tags → statistically independent streams.
+TEST(RngSplit, SameTagSameStream) {
+  rngx::Rng p1{11};
+  rngx::Rng p2{11};
+  auto c1 = p1.split("worker");
+  auto c2 = p2.split("worker");
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+TEST(RngSplit, DistinctTagsIndependentStreams) {
+  rngx::Rng parent{12};
+  auto a = parent.split("alpha");
+  auto b = parent.split("beta");
+  // Empirical correlation of 4096 paired uniforms should be ~N(0, 1/64).
+  const int n = 4096;
+  double sum_ab = 0.0;
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double ua = a.uniform();
+    const double ub = b.uniform();
+    sum_ab += ua * ub;
+    sum_a += ua;
+    sum_b += ub;
+  }
+  const double corr =
+      (sum_ab / n - (sum_a / n) * (sum_b / n)) / (1.0 / 12.0);
+  EXPECT_LT(std::abs(corr), 0.1);
+}
+
+}  // namespace
+}  // namespace varbench::exec

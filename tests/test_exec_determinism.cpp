@@ -1,0 +1,208 @@
+// The determinism contract of the exec engine, checked end-to-end on every
+// converted hot path: results are bit-identical for num_threads ∈ {1, 2, 8}
+// (see docs/determinism.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/casestudies/mlp_pipeline.h"
+#include "src/compare/criteria.h"
+#include "src/compare/error_rates.h"
+#include "src/compare/multiple.h"
+#include "src/core/variance_study.h"
+#include "src/hpo/hpo.h"
+#include "src/ml/synthetic.h"
+#include "src/stats/bootstrap.h"
+#include "src/stats/descriptive.h"
+
+namespace varbench {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+ml::Dataset small_pool() {
+  ml::GaussianMixtureConfig cfg;
+  cfg.num_classes = 2;
+  cfg.dim = 4;
+  cfg.n = 160;
+  cfg.class_sep = 1.3;
+  cfg.label_noise = 0.1;
+  rngx::Rng rng{1};
+  return ml::make_gaussian_mixture(cfg, rng);
+}
+
+casestudies::MlpPipeline small_pipeline() {
+  casestudies::MlpPipelineSpec spec;
+  spec.name = "determinism";
+  spec.base.model.hidden = {5};
+  spec.base.model.dropout = 0.2;
+  spec.base.augment.jitter_std = 0.1;
+  spec.base.epochs = 2;
+  spec.base.batch_size = 32;
+  spec.space.add({"learning_rate", 0.001, 0.5, hpo::ScaleKind::kLog});
+  spec.defaults = {{"learning_rate", 0.1}};
+  return casestudies::MlpPipeline{std::move(spec)};
+}
+
+TEST(ExecDeterminism, VarianceStudyBitIdenticalAcrossThreadCounts) {
+  const auto pool = small_pool();
+  const auto pipeline = small_pipeline();
+  const core::OutOfBootstrapSplitter splitter{90, 40};
+
+  std::vector<core::VarianceStudyResult> results;
+  for (const std::size_t threads : kThreadCounts) {
+    core::VarianceStudyConfig cfg;
+    cfg.repetitions = 4;
+    cfg.hpo_algorithms = {"random_search"};
+    cfg.hpo_repetitions = 2;
+    cfg.hpo_budget = 2;
+    cfg.exec = exec::ExecContext{threads};
+    rngx::Rng master{42};
+    results.push_back(
+        core::run_variance_study(pipeline, pool, splitter, cfg, master));
+  }
+  const auto& reference = results.front();
+  for (std::size_t t = 1; t < results.size(); ++t) {
+    ASSERT_EQ(results[t].rows.size(), reference.rows.size());
+    for (std::size_t r = 0; r < reference.rows.size(); ++r) {
+      EXPECT_EQ(results[t].rows[r].label, reference.rows[r].label);
+      EXPECT_EQ(results[t].rows[r].measures, reference.rows[r].measures)
+          << "row " << reference.rows[r].label << " differs at "
+          << kThreadCounts[t] << " threads";
+      EXPECT_EQ(results[t].rows[r].mean, reference.rows[r].mean);
+      EXPECT_EQ(results[t].rows[r].stddev, reference.rows[r].stddev);
+    }
+  }
+}
+
+TEST(ExecDeterminism, BootstrapCiBitIdenticalAcrossThreadCounts) {
+  std::vector<double> x(300);
+  rngx::Rng data_rng{7};
+  for (double& v : x) v = data_rng.normal(2.0, 1.5);
+
+  std::vector<stats::ConfidenceInterval> cis;
+  for (const std::size_t threads : kThreadCounts) {
+    rngx::Rng rng{9};
+    cis.push_back(stats::percentile_bootstrap_ci(
+        exec::ExecContext{threads}, x,
+        [](std::span<const double> s) { return stats::mean(s); }, rng, 2000));
+  }
+  EXPECT_EQ(cis[0], cis[1]);
+  EXPECT_EQ(cis[0], cis[2]);
+  // The ctx-less overload is the same computation run serially.
+  rngx::Rng rng{9};
+  const auto legacy = stats::percentile_bootstrap_ci(
+      x, [](std::span<const double> s) { return stats::mean(s); }, rng, 2000);
+  EXPECT_EQ(cis[0], legacy);
+}
+
+TEST(ExecDeterminism, PairedBootstrapCiBitIdenticalAcrossThreadCounts) {
+  std::vector<double> a(120);
+  std::vector<double> b(120);
+  rngx::Rng data_rng{8};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = data_rng.normal(0.0, 1.0);
+    b[i] = a[i] - data_rng.normal(0.3, 0.2);
+  }
+  const auto diff = [](std::span<const double> ra, std::span<const double> rb) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < ra.size(); ++i) d += ra[i] - rb[i];
+    return d / static_cast<double>(ra.size());
+  };
+  std::vector<stats::ConfidenceInterval> cis;
+  for (const std::size_t threads : kThreadCounts) {
+    rngx::Rng rng{10};
+    cis.push_back(stats::paired_percentile_bootstrap_ci(
+        exec::ExecContext{threads}, a, b, diff, rng, 1000));
+  }
+  EXPECT_EQ(cis[0], cis[1]);
+  EXPECT_EQ(cis[0], cis[2]);
+}
+
+TEST(ExecDeterminism, DetectionRatesBitIdenticalAcrossThreadCounts) {
+  compare::TaskVarianceProfile profile;
+  profile.task = "synthetic";
+  profile.mu = 0.8;
+  profile.sigma_ideal = 0.02;
+  profile.sigma_bias = 0.01;
+  profile.sigma_within = 0.01;
+
+  std::vector<compare::DetectionCurves> curves;
+  for (const std::size_t threads : kThreadCounts) {
+    std::vector<std::unique_ptr<compare::ComparisonCriterion>> criteria;
+    criteria.push_back(std::make_unique<compare::AverageComparison>(0.01));
+    criteria.push_back(
+        std::make_unique<compare::ProbOutperformCriterion>(0.75, 50));
+    compare::DetectionRateConfig cfg;
+    cfg.k = 10;
+    cfg.simulations = 20;
+    cfg.p_grid = {0.4, 0.5, 0.6, 0.75, 0.9};
+    cfg.exec = exec::ExecContext{threads};
+    rngx::Rng rng{11};
+    curves.push_back(compare::characterize_detection_rates(
+        profile, compare::EstimatorKind::kBiased, criteria, cfg, rng));
+  }
+  EXPECT_EQ(curves[0].rates, curves[1].rates);
+  EXPECT_EQ(curves[0].rates, curves[2].rates);
+}
+
+TEST(ExecDeterminism, RandomSearchParallelMatchesSerialBitwise) {
+  hpo::SearchSpace space;
+  space.add({"x", -2.0, 2.0, hpo::ScaleKind::kLinear});
+  space.add({"y", 0.01, 10.0, hpo::ScaleKind::kLog});
+  const hpo::Objective objective = [](const hpo::ParamPoint& p) {
+    const double x = p.at("x");
+    const double y = p.at("y");
+    return x * x + (y - 1.0) * (y - 1.0);
+  };
+  const hpo::RandomSearch algo;
+  rngx::Rng serial_rng{13};
+  const auto serial = algo.optimize(space, objective, 40, serial_rng);
+  const rngx::RngState post_serial_state = serial_rng.save_state();
+  for (const std::size_t threads : {2u, 8u}) {
+    rngx::Rng rng{13};
+    const auto parallel =
+        algo.optimize(exec::ExecContext{threads}, space, objective, 40, rng);
+    ASSERT_EQ(parallel.trials.size(), serial.trials.size());
+    EXPECT_EQ(parallel.best, serial.best);
+    EXPECT_EQ(parallel.best_objective, serial.best_objective);
+    for (std::size_t i = 0; i < serial.trials.size(); ++i) {
+      EXPECT_EQ(parallel.trials[i].params, serial.trials[i].params);
+      EXPECT_EQ(parallel.trials[i].objective, serial.trials[i].objective);
+    }
+    // The ξH stream must advance identically too.
+    EXPECT_EQ(rng.save_state(), post_serial_state);
+  }
+}
+
+TEST(ExecDeterminism, RankingStabilityBitIdenticalAcrossThreadCounts) {
+  compare::ContestantScores scores(4, std::vector<double>(25));
+  rngx::Rng data_rng{14};
+  for (std::size_t a = 0; a < scores.size(); ++a) {
+    for (auto& v : scores[a]) {
+      v = data_rng.normal(0.7 + 0.01 * static_cast<double>(a), 0.05);
+    }
+  }
+  std::vector<compare::RankingStability> results;
+  std::vector<compare::TopGroupResult> groups;
+  for (const std::size_t threads : kThreadCounts) {
+    rngx::Rng rng{15};
+    results.push_back(compare::ranking_stability(
+        scores, rng, 400, exec::ExecContext{threads}));
+    rngx::Rng group_rng{16};
+    groups.push_back(compare::significance_top_group(
+        scores, group_rng, 0.75, 0.05, 200, exec::ExecContext{threads}));
+  }
+  for (std::size_t t = 1; t < results.size(); ++t) {
+    EXPECT_EQ(results[t].prob_first, results[0].prob_first);
+    const auto reference = results[0].rank_probability.data();
+    const auto probe = results[t].rank_probability.data();
+    ASSERT_EQ(probe.size(), reference.size());
+    EXPECT_TRUE(std::equal(probe.begin(), probe.end(), reference.begin()));
+    EXPECT_EQ(groups[t].best, groups[0].best);
+    EXPECT_EQ(groups[t].group, groups[0].group);
+  }
+}
+
+}  // namespace
+}  // namespace varbench

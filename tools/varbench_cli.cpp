@@ -63,6 +63,12 @@ std::string opt_string(const Args& a, const std::string& key,
   return it == a.options.end() ? fallback : it->second;
 }
 
+// --threads N: worker count for the Monte-Carlo hot paths (0 = all hardware
+// threads, default 1 = serial). Results are identical for every value.
+exec::ExecContext opt_exec(const Args& a) {
+  return exec::ExecContext{opt_size(a, "threads", 1)};
+}
+
 int cmd_tasks() {
   std::printf("registered case studies:\n");
   for (const auto& id : casestudies::case_study_ids()) {
@@ -97,6 +103,7 @@ int cmd_study(const Args& a) {
   cfg.hpo_algorithms = {"random_search"};
   cfg.hpo_repetitions = std::max<std::size_t>(3, cfg.repetitions / 4);
   cfg.hpo_budget = opt_size(a, "budget", 10);
+  cfg.exec = opt_exec(a);
   rngx::Rng master{opt_size(a, "seed", 42)};
   const auto study = core::run_variance_study(*cs.pipeline, *cs.pool,
                                               *cs.splitter, cfg, master);
@@ -134,14 +141,26 @@ int cmd_compare(const Args& a) {
   std::printf("A = defaults; B = defaults with lr x %.2f; %zu paired runs\n",
               mult, runs);
   rngx::Rng master{opt_size(a, "seed", 42)};
+  // Paired runs are independent given per-run streams; fan them out.
+  struct PairedMeasure {
+    double a = 0.0;
+    double b = 0.0;
+  };
+  const auto measures = exec::parallel_replicate<PairedMeasure>(
+      opt_exec(a), runs, master, "compare",
+      [&](std::size_t, rngx::Rng& run_rng) {
+        const auto seeds = rngx::VariationSeeds::random(run_rng);
+        return PairedMeasure{
+            core::measure_with_params(*cs.pipeline, *cs.pool, *cs.splitter,
+                                      params_a, seeds),
+            core::measure_with_params(*cs.pipeline, *cs.pool, *cs.splitter,
+                                      params_b, seeds)};
+      });
   std::vector<double> pa;
   std::vector<double> pb;
-  for (std::size_t i = 0; i < runs; ++i) {
-    const auto seeds = rngx::VariationSeeds::random(master);
-    pa.push_back(core::measure_with_params(*cs.pipeline, *cs.pool,
-                                           *cs.splitter, params_a, seeds));
-    pb.push_back(core::measure_with_params(*cs.pipeline, *cs.pool,
-                                           *cs.splitter, params_b, seeds));
+  for (const auto& m : measures) {
+    pa.push_back(m.a);
+    pb.push_back(m.b);
   }
   auto rng = master.split("test");
   const auto r = stats::test_probability_of_outperforming(pa, pb, rng, gamma);
@@ -168,6 +187,7 @@ int cmd_hpo(const Args& a) {
   core::HpoRunConfig cfg;
   cfg.algorithm = algo.get();
   cfg.budget = opt_size(a, "budget", 20);
+  cfg.exec = opt_exec(a);
   rngx::VariationSeeds seeds;
   seeds.hpo = opt_size(a, "seed", 42);
   core::FitCounter fits;
@@ -176,7 +196,7 @@ int cmd_hpo(const Args& a) {
   std::printf("%s on %s: final test %s = %.4f (%zu fits)\n",
               std::string(algo->name()).c_str(), a.positional[0].c_str(),
               std::string(ml::to_string(cs.pipeline->metric())).c_str(), perf,
-              fits.fits);
+              fits.fits.load());
   return 0;
 }
 
@@ -208,10 +228,12 @@ void usage() {
       "subcommands:\n"
       "  tasks                       list case studies\n"
       "  plan    [--gamma --alpha --beta]\n"
-      "  study   <task> [--reps --scale --budget --seed]\n"
-      "  compare <task> [--runs --scale --lr-mult --gamma --seed]\n"
-      "  hpo     <task> [--algo --budget --scale --seed]\n"
-      "  audit   <task> [--scale]\n");
+      "  study   <task> [--reps --scale --budget --seed --threads]\n"
+      "  compare <task> [--runs --scale --lr-mult --gamma --seed --threads]\n"
+      "  hpo     <task> [--algo --budget --scale --seed --threads]\n"
+      "  audit   <task> [--scale]\n"
+      "--threads N runs the Monte-Carlo loops on N threads (0 = all cores);\n"
+      "results are bit-identical for every N (see docs/determinism.md).\n");
 }
 
 }  // namespace
