@@ -16,7 +16,7 @@ namespace {
 using namespace varbench;
 
 void run_task(const std::string& id, std::size_t reps, std::size_t hpo_reps,
-              std::size_t hpo_budget) {
+              std::size_t hpo_budget, study::ResultTable& table) {
   const auto cs = casestudies::make_case_study(id, benchutil::scale());
   core::VarianceStudyConfig cfg;
   cfg.repetitions = reps;
@@ -36,6 +36,11 @@ void run_task(const std::string& id, std::size_t reps, std::size_t hpo_reps,
   for (const auto& row : result.rows) {
     std::printf("  %-22s %10.4f %10.4f %14.2f\n", row.label.c_str(), row.mean,
                 row.stddev, boot > 0.0 ? row.stddev / boot : 0.0);
+    for (std::size_t rep = 0; rep < row.measures.size(); ++rep) {
+      table.add_row({study::Cell{table.rows.size()}, study::Cell{id},
+                     study::Cell{row.label}, study::Cell{rep},
+                     study::Cell{row.measures[rep]}});
+    }
   }
 }
 
@@ -51,9 +56,13 @@ int main() {
                           benchutil::env_flag("VARBENCH_FULL") ? 200 : 30);
   const std::size_t hpo_reps = benchutil::env_flag("VARBENCH_FULL") ? 20 : 5;
   const std::size_t hpo_budget = benchutil::env_flag("VARBENCH_FULL") ? 200 : 12;
+  auto table = benchutil::make_table(
+      "fig01_variance_sources", {"seq", "task", "source", "rep", "measure"},
+      42);
   for (const auto& id : casestudies::case_study_ids()) {
-    run_task(id, reps, hpo_reps, hpo_budget);
+    run_task(id, reps, hpo_reps, hpo_budget, table);
   }
+  benchutil::write_artifact(table);
   std::printf(
       "\nShape check vs paper: bootstrap row should have the largest std in\n"
       "most tasks, and the three HPO rows should be comparable to the\n"

@@ -41,6 +41,9 @@ int main() {
       "VARBENCH_REPS", benchutil::env_flag("VARBENCH_FULL") ? 200 : 60);
   const std::size_t ks[] = {1, 2, 5, 10, 20, 50, 100};
 
+  auto table = benchutil::make_table(
+      "fig05_estimator_stderr",
+      {"seq", "task", "k", "estimator", "analytic", "simulated"}, 5);
   for (const auto& calib : casestudies::paper_calibrations()) {
     std::printf("\n%-18s (sigma_ideal=%.4f %s)\n", calib.paper_task.c_str(),
                 calib.sigma_ideal, calib.metric.c_str());
@@ -50,6 +53,9 @@ int main() {
     for (const std::size_t k : ks) {
       const double ideal = calib.sigma_ideal / std::sqrt(static_cast<double>(k));
       std::printf("  %-4zu %12.5f", k, ideal);
+      table.add_row({study::Cell{table.rows.size()}, study::Cell{calib.id},
+                     study::Cell{k}, study::Cell{"ideal"}, study::Cell{ideal},
+                     study::Cell{}});  // no MC cross-check for the ideal curve
       for (const auto subset :
            {core::RandomizeSubset::kInit, core::RandomizeSubset::kData,
             core::RandomizeSubset::kAll}) {
@@ -58,6 +64,14 @@ int main() {
         const double sim = simulated_std_of_mean(calib.profile(subset), k,
                                                  realizations, rng);
         std::printf(" %7.5f/%.5f", analytic, sim);
+        const char* label = subset == core::RandomizeSubset::kInit
+                                ? "fix_init"
+                                : subset == core::RandomizeSubset::kData
+                                      ? "fix_data"
+                                      : "fix_all";
+        table.add_row({study::Cell{table.rows.size()}, study::Cell{calib.id},
+                       study::Cell{k}, study::Cell{label},
+                       study::Cell{analytic}, study::Cell{sim}});
       }
       std::printf("\n");
     }
@@ -67,6 +81,8 @@ int main() {
                 1.0 / calib.rho_init, 1.0 / calib.rho_data,
                 1.0 / calib.rho_all);
   }
+
+  benchutil::write_artifact(table);
 
   if (benchutil::env_flag("VARBENCH_EMPIRICAL")) {
     benchutil::section(

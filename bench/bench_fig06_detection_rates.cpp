@@ -75,6 +75,17 @@ compare::DetectionCurves average_over_tasks(compare::EstimatorKind kind,
   return total;
 }
 
+void record_curves(const compare::DetectionCurves& curves,
+                   const char* estimator, study::ResultTable& table) {
+  for (const auto& [criterion, rates] : curves.rates) {
+    for (std::size_t i = 0; i < curves.p_grid.size(); ++i) {
+      table.add_row({study::Cell{table.rows.size()}, study::Cell{estimator},
+                     study::Cell{criterion}, study::Cell{curves.p_grid[i]},
+                     study::Cell{rates[i]}});
+    }
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -86,12 +97,20 @@ int main() {
   const std::size_t sims = benchutil::env_size(
       "VARBENCH_REPS", benchutil::env_flag("VARBENCH_FULL") ? 500 : 100);
 
+  auto table = benchutil::make_table(
+      "fig06_detection_rates", {"seq", "estimator", "criterion", "p", "rate"},
+      6);
   benchutil::section("ideal estimator (solid lines)");
-  print_curves(average_over_tasks(compare::EstimatorKind::kIdeal, k, sims),
-               0.75);
+  const auto ideal = average_over_tasks(compare::EstimatorKind::kIdeal, k,
+                                        sims);
+  print_curves(ideal, 0.75);
+  record_curves(ideal, "ideal", table);
   benchutil::section("biased estimator FixHOptEst(k, All) (dashed lines)");
-  print_curves(average_over_tasks(compare::EstimatorKind::kBiased, k, sims),
-               0.75);
+  const auto biased = average_over_tasks(compare::EstimatorKind::kBiased, k,
+                                         sims);
+  print_curves(biased, 0.75);
+  record_curves(biased, "fix_all", table);
+  benchutil::write_artifact(table);
   std::printf(
       "\nShape check vs paper: at P=0.5 single_point has the highest FP rate;\n"
       "in the H1 region (P>0.75) average has the highest FN rate and\n"

@@ -1,16 +1,21 @@
 // Shared helpers for the figure/table reproduction harnesses.
 //
 // Every bench binary prints the rows/series of one table or figure from
-// "Accounting for Variance in Machine Learning Benchmarks" (MLSys 2021).
+// "Accounting for Variance in Machine Learning Benchmarks" (MLSys 2021),
+// and (when VARBENCH_OUT is set) writes the underlying data as a canonical
+// ResultTable artifact next to the printout.
 // Scale knobs (environment variables):
 //   VARBENCH_SCALE   data-pool / epoch scale in (0, 1]   (default 0.3)
 //   VARBENCH_REPS    repetitions per measurement          (bench-specific)
 //   VARBENCH_FULL=1  paper-faithful sizes (slow; hours)
+//   VARBENCH_OUT     directory for ResultTable artifacts (default: none)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#include "src/study/result_table.h"
 
 namespace varbench::benchutil {
 
@@ -49,6 +54,38 @@ inline void header(const char* experiment, const char* claim) {
 
 inline void section(const char* title) {
   std::printf("\n--- %s ---\n", title);
+}
+
+/// Start a bench-owned ResultTable artifact. The first column should be
+/// "seq" (the emission index) so bench tables share the canonical row-order
+/// convention of spec-driven artifacts.
+inline study::ResultTable make_table(std::string name,
+                                     std::vector<std::string> columns,
+                                     std::uint64_t seed) {
+  study::ResultTable t;
+  t.name = std::move(name);
+  t.seed = seed;
+  t.columns = std::move(columns);
+  return t;
+}
+
+/// Write `<VARBENCH_OUT>/<table.name>.json` (+ .csv) when VARBENCH_OUT is
+/// set; silently a no-op otherwise, so default bench runs stay print-only.
+/// Best-effort: an unwritable directory warns instead of killing a bench
+/// run whose printout already happened.
+inline void write_artifact(const study::ResultTable& table) {
+  const char* dir = std::getenv("VARBENCH_OUT");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string base = std::string{dir} + "/" + table.name;
+  try {
+    io::write_file(base + ".json", table.to_json_text());
+    io::write_file(base + ".csv", table.to_csv());
+    std::printf("\n[artifact] %s.json (+.csv): %zu rows\n", base.c_str(),
+                table.rows.size());
+  } catch (const io::JsonError& e) {
+    std::fprintf(stderr, "warning: VARBENCH_OUT artifact not written: %s\n",
+                 e.what());
+  }
 }
 
 }  // namespace varbench::benchutil

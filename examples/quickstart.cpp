@@ -1,12 +1,16 @@
-// Quickstart: compare two learning algorithms the way the paper recommends.
+// Quickstart: compare two learning algorithms the way the paper recommends,
+// through the declarative study API (docs/study_api.md).
 //
-//   1. Randomize every source of variation (ξO) between runs.
-//   2. Pair the runs: both algorithms see the same ξ in run i (App. C.2).
-//   3. Plan the sample size with Noether's formula (App. C.3).
+//   1. Describe the experiment as data: a StudySpec of kind "compare"
+//      (every ξO source randomized between runs, runs paired — both
+//      algorithms see the same ξ in run i, App. C.2).
+//   2. Plan the sample size with Noether's formula (App. C.3).
+//   3. run_study(spec) → a canonical ResultTable artifact of raw paired
+//      measures, reproducible from the spec alone.
 //   4. Decide with the probability-of-outperforming test: A beats B only if
 //      the result is statistically significant AND meaningful (App. C.6).
 //
-// Usage: quickstart [case_study_id] [scale]
+// Usage: quickstart [case_study_id] [scale] [artifact_out.json]
 #include <cstdio>
 #include <string>
 
@@ -19,46 +23,43 @@ int main(int argc, char** argv) {
 
   std::printf("varbench quickstart — task %s, scale %.2f\n", task.c_str(),
               scale);
-  const auto cs = casestudies::make_case_study(task, scale);
 
-  // Algorithm A: the tuned defaults. Algorithm B: same pipeline with a
-  // deliberately worse learning rate — the kind of difference a benchmark
-  // should detect.
-  const hpo::ParamPoint algo_a = cs.pipeline->default_params();
-  hpo::ParamPoint algo_b = algo_a;
-  algo_b["learning_rate"] = algo_a.at("learning_rate") * 0.05;
-
-  // Step 3: how many paired runs do we need for γ=0.75?
+  // Step 2: how many paired runs do we need for γ=0.75?
   const std::size_t n = stats::noether_sample_size(0.75, 0.05, 0.2);
   std::printf("planned sample size (gamma=0.75, alpha=0.05, beta=0.2): %zu\n",
               n);
 
-  // Steps 1+2: paired, fully-randomized measurements.
-  rngx::Rng master{20260612};
-  std::vector<double> perf_a;
-  std::vector<double> perf_b;
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto seeds = rngx::VariationSeeds::random(master);  // shared ξ
-    perf_a.push_back(core::measure_with_params(*cs.pipeline, *cs.pool,
-                                               *cs.splitter, algo_a, seeds));
-    perf_b.push_back(core::measure_with_params(*cs.pipeline, *cs.pool,
-                                               *cs.splitter, algo_b, seeds));
-    std::printf("  run %2zu: A=%.4f  B=%.4f\n", i + 1, perf_a.back(),
-                perf_b.back());
+  // Step 1: the experiment, as data. Algorithm A is the tuned defaults;
+  // algorithm B the same pipeline with a deliberately worse learning rate
+  // (defaults × 0.05) — the kind of difference a benchmark should detect.
+  study::StudySpec spec;
+  spec.kind = study::StudyKind::kCompare;
+  spec.case_study = task;
+  spec.scale = scale;
+  spec.seed = 20260612;
+  spec.repetitions = n;
+  spec.compare.lr_mult = 0.05;
+  std::printf("spec:\n%s", spec.to_json_text().c_str());
+
+  // Step 3: run it. The table holds the raw paired measures — shard it
+  // across processes with spec.shard and merge_result_tables() and you get
+  // these exact rows back (see examples/sharded_study.cpp).
+  const auto table = study::run_study(spec);
+  const auto pa = table.column_values("perf_a");
+  const auto pb = table.column_values("perf_b");
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    std::printf("  run %2zu: A=%.4f  B=%.4f\n", i + 1, pa[i], pb[i]);
   }
 
-  // Step 4: the recommended decision criterion.
-  auto test_rng = master.split("pab-test");
-  const auto result =
-      stats::test_probability_of_outperforming(perf_a, perf_b, test_rng);
-  std::printf("\nP(A>B) = %.3f,  95%% CI [%.3f, %.3f],  gamma = %.2f\n",
-              result.p_a_greater_b, result.ci.lower, result.ci.upper,
-              result.gamma);
-  std::printf("conclusion: %s\n",
-              std::string(stats::to_string(result.conclusion)).c_str());
+  // Step 4: the recommended decision criterion, derived from the artifact.
+  std::printf("\n");
+  study::print_summary(table, stdout);
   std::printf(
-      "\n(mean A = %.4f, mean B = %.4f — note the decision used the full\n"
-      "distributions, not just these averages)\n",
-      stats::mean(perf_a), stats::mean(perf_b));
+      "\n(the decision used the full distributions, not just the averages)\n");
+
+  if (argc > 3) {
+    io::write_file(argv[3], table.to_json_text());
+    std::printf("wrote artifact %s\n", argv[3]);
+  }
   return 0;
 }

@@ -7,37 +7,41 @@
 
 namespace varbench::compare {
 
-DetectionCurves characterize_detection_rates(
+std::vector<double> default_p_grid() {
+  std::vector<double> grid;
+  for (double p = 0.4; p <= 1.0 - 1e-9; p += 0.05) grid.push_back(p);
+  grid.push_back(0.99);  // probe near-certain improvements too
+  return grid;
+}
+
+std::vector<std::vector<std::uint8_t>> detection_rounds(
     const TaskVarianceProfile& profile, EstimatorKind estimator,
     std::span<const std::unique_ptr<ComparisonCriterion>> criteria,
-    const DetectionRateConfig& config, rngx::Rng& rng) {
+    const DetectionRateConfig& config, exec::IndexRange range,
+    rngx::Rng& rng) {
   if (criteria.empty()) {
-    throw std::invalid_argument("characterize_detection_rates: no criteria");
+    throw std::invalid_argument("detection_rounds: no criteria");
   }
-  DetectionCurves curves;
-  curves.p_grid = config.p_grid;
-  if (curves.p_grid.empty()) {
-    for (double p = 0.4; p <= 1.0 - 1e-9; p += 0.05) curves.p_grid.push_back(p);
-    curves.p_grid.push_back(0.99);  // probe near-certain improvements too
-  }
-  for (const auto& c : criteria) {
-    curves.rates[std::string{c->name()}] =
-        std::vector<double>(curves.p_grid.size(), 0.0);
+  const std::vector<double> p_grid =
+      config.p_grid.empty() ? default_p_grid() : config.p_grid;
+  const std::size_t rounds = p_grid.size() * config.simulations;
+  if (range.begin > range.end || range.end > rounds) {
+    throw std::invalid_argument("detection_rounds: range outside [0, " +
+                                std::to_string(rounds) + ")");
   }
 
   const double sigma_single = estimator == EstimatorKind::kIdeal
                                   ? profile.sigma_ideal
                                   : profile.sigma_biased_total();
-  std::vector<double> offsets(curves.p_grid.size(), 0.0);
-  for (std::size_t gi = 0; gi < curves.p_grid.size(); ++gi) {
-    offsets[gi] = mean_offset_for_probability(curves.p_grid[gi], sigma_single);
+  std::vector<double> offsets(p_grid.size(), 0.0);
+  for (std::size_t gi = 0; gi < p_grid.size(); ++gi) {
+    offsets[gi] = mean_offset_for_probability(p_grid[gi], sigma_single);
   }
 
   // One task per (grid point, simulation round) pair, each on its own RNG
   // stream; every criterion sees the same simulated samples within a round.
-  const std::size_t rounds = curves.p_grid.size() * config.simulations;
-  const auto hits = exec::parallel_replicate<std::vector<std::uint8_t>>(
-      config.exec, rounds, rng, "detection_rates",
+  return exec::parallel_replicate_range<std::vector<std::uint8_t>>(
+      config.exec, range, rng, "detection_rates",
       [&](std::size_t round, rngx::Rng& round_rng) {
         const std::size_t gi = round / config.simulations;
         const auto a = simulate_measures(profile, estimator, offsets[gi],
@@ -50,6 +54,25 @@ DetectionCurves characterize_detection_rates(
         }
         return detected;
       });
+}
+
+DetectionCurves characterize_detection_rates(
+    const TaskVarianceProfile& profile, EstimatorKind estimator,
+    std::span<const std::unique_ptr<ComparisonCriterion>> criteria,
+    const DetectionRateConfig& config, rngx::Rng& rng) {
+  if (criteria.empty()) {
+    throw std::invalid_argument("characterize_detection_rates: no criteria");
+  }
+  DetectionCurves curves;
+  curves.p_grid = config.p_grid.empty() ? default_p_grid() : config.p_grid;
+  for (const auto& c : criteria) {
+    curves.rates[std::string{c->name()}] =
+        std::vector<double>(curves.p_grid.size(), 0.0);
+  }
+
+  const std::size_t rounds = curves.p_grid.size() * config.simulations;
+  const auto hits = detection_rounds(profile, estimator, criteria, config,
+                                     exec::IndexRange{0, rounds}, rng);
   for (std::size_t round = 0; round < rounds; ++round) {
     const std::size_t gi = round / config.simulations;
     for (std::size_t ci = 0; ci < criteria.size(); ++ci) {

@@ -3,13 +3,17 @@
 // often each criterion concludes "A outperforms B".
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/compare/criteria.h"
 #include "src/compare/simulation.h"
 #include "src/exec/exec_context.h"
+#include "src/exec/parallel_replicate.h"
 
 namespace varbench::compare {
 
@@ -28,6 +32,22 @@ struct DetectionCurves {
   // criterion name → detection rate (in [0,1]) at each grid point.
   std::map<std::string, std::vector<double>> rates;
 };
+
+/// The default Fig. 6 x-axis: true P(A>B) from 0.4 to 1.0 in steps of 0.05,
+/// plus 0.99 to probe near-certain improvements.
+[[nodiscard]] std::vector<double> default_p_grid();
+
+/// Raw detection outcomes, one row per simulation round. Round index
+/// `gi * simulations + si` simulates grid point `gi`, round `si`; the value
+/// is one 0/1 flag per criterion (same order as `criteria`). `range`
+/// restricts execution to a contiguous slice of the round index space —
+/// rounds are keyed by their global index, so any slice is bit-identical to
+/// the corresponding slice of the full run (shard execution). Exactly one
+/// u64 is drawn from `rng` regardless of range and thread count.
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> detection_rounds(
+    const TaskVarianceProfile& profile, EstimatorKind estimator,
+    std::span<const std::unique_ptr<ComparisonCriterion>> criteria,
+    const DetectionRateConfig& config, exec::IndexRange range, rngx::Rng& rng);
 
 /// Run the Fig. 6 experiment for one task profile and one estimator kind.
 /// Criteria are evaluated on THE SAME simulated samples at each round, so

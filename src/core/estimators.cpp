@@ -35,43 +35,90 @@ std::vector<rngx::VariationSource> sources_of(RandomizeSubset subset) {
 EstimatorResult summarize(std::vector<double> measures, std::size_t fits) {
   EstimatorResult r;
   r.measures = std::move(measures);
-  r.mean = stats::mean(r.measures);
-  r.stddev = stats::stddev(r.measures);
+  // An empty shard slice (range.begin == range.end) is legal; statistics
+  // only mean something on the merged whole.
+  r.mean = r.measures.empty() ? 0.0 : stats::mean(r.measures);
+  r.stddev = r.measures.empty() ? 0.0 : stats::stddev(r.measures);
   r.fits = fits;
   return r;
 }
 
+void validate_k_and_range(const char* who, std::size_t k,
+                          exec::IndexRange range) {
+  if (k == 0) throw std::invalid_argument(std::string{who} + ": k == 0");
+  if (range.begin > range.end || range.end > k) {
+    throw std::invalid_argument(std::string{who} + ": range [" +
+                                std::to_string(range.begin) + ", " +
+                                std::to_string(range.end) +
+                                ") outside [0, k=" + std::to_string(k) + ")");
+  }
+}
+
+// Measurement fan-out owns the hardware; HOpt runs nested inside a parallel
+// region stay serial to avoid oversubscription (results are unaffected —
+// HPO trial evaluation is thread-count invariant too).
+HpoRunConfig nested_hpo_config(const HpoRunConfig& hpo,
+                               const exec::ExecContext& ctx) {
+  HpoRunConfig inner = hpo;
+  if (!ctx.is_serial()) inner.exec = exec::ExecContext::serial();
+  return inner;
+}
+
 }  // namespace
+
+EstimatorResult ideal_estimator(const exec::ExecContext& ctx,
+                                const LearningPipeline& pipeline,
+                                const ml::Dataset& pool,
+                                const Splitter& splitter,
+                                const HpoRunConfig& hpo, std::size_t k,
+                                exec::IndexRange range, rngx::Rng& master) {
+  validate_k_and_range("ideal_estimator", k, range);
+  FitCounter counter;
+  const HpoRunConfig inner = nested_hpo_config(hpo, ctx);
+  // Algorithm 1: fresh ξO and ξH per measurement, full HOpt each time; each
+  // global index i draws its ξ from its own (master, tag, i) stream.
+  auto measures = exec::parallel_replicate_range<double>(
+      ctx, range, master, "ideal_estimator",
+      [&](std::size_t, rngx::Rng& rng) {
+        const auto seeds = rngx::VariationSeeds::random(rng);
+        return run_pipeline_once(pipeline, pool, splitter, inner, seeds,
+                                 &counter);
+      });
+  return summarize(std::move(measures), counter.fits);
+}
+
+EstimatorResult ideal_estimator(const exec::ExecContext& ctx,
+                                const LearningPipeline& pipeline,
+                                const ml::Dataset& pool,
+                                const Splitter& splitter,
+                                const HpoRunConfig& hpo, std::size_t k,
+                                rngx::Rng& master) {
+  return ideal_estimator(ctx, pipeline, pool, splitter, hpo, k,
+                         exec::IndexRange{0, k}, master);
+}
 
 EstimatorResult ideal_estimator(const LearningPipeline& pipeline,
                                 const ml::Dataset& pool,
                                 const Splitter& splitter,
                                 const HpoRunConfig& hpo, std::size_t k,
                                 rngx::Rng& master) {
-  if (k == 0) throw std::invalid_argument("ideal_estimator: k == 0");
-  FitCounter counter;
-  std::vector<double> measures;
-  measures.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    // Algorithm 1: fresh ξO and ξH every iteration, full HOpt each time.
-    const auto seeds = rngx::VariationSeeds::random(master);
-    measures.push_back(
-        run_pipeline_once(pipeline, pool, splitter, hpo, seeds, &counter));
-  }
-  return summarize(std::move(measures), counter.fits);
+  return ideal_estimator(exec::ExecContext::serial(), pipeline, pool, splitter,
+                         hpo, k, master);
 }
 
-EstimatorResult fix_hopt_estimator(const LearningPipeline& pipeline,
+EstimatorResult fix_hopt_estimator(const exec::ExecContext& ctx,
+                                   const LearningPipeline& pipeline,
                                    const ml::Dataset& pool,
                                    const Splitter& splitter,
                                    const HpoRunConfig& hpo, std::size_t k,
                                    RandomizeSubset subset,
-                                   rngx::Rng& master) {
-  if (k == 0) throw std::invalid_argument("fix_hopt_estimator: k == 0");
+                                   exec::IndexRange range, rngx::Rng& master) {
+  validate_k_and_range("fix_hopt_estimator", k, range);
   FitCounter counter;
 
   // Algorithm 2, stage 1: one split, one HOpt, fixing λ̂* for all
-  // measurements.
+  // measurements. Always computed in full so that shard runs of stage 2
+  // measure against the identical λ̂*.
   auto base_seeds = rngx::VariationSeeds::random(master);
   auto split_rng = base_seeds.rng_for(rngx::VariationSource::kDataSplit);
   const Split s = splitter.split(pool, split_rng);
@@ -80,16 +127,37 @@ EstimatorResult fix_hopt_estimator(const LearningPipeline& pipeline,
   const hpo::ParamPoint lambda =
       run_hpo(pipeline, trainvalid, hpo, base_seeds, &counter);
 
-  // Stage 2: k measurements re-randomizing only the chosen ξO subset.
+  // Stage 2: measurements re-randomizing only the chosen ξO subset, one
+  // independent stream per global measurement index.
   const auto randomized = sources_of(subset);
-  std::vector<double> measures;
-  measures.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    const auto seeds = base_seeds.with_randomized_set(randomized, master);
-    measures.push_back(
-        measure_with_params(pipeline, pool, splitter, lambda, seeds, &counter));
-  }
+  auto measures = exec::parallel_replicate_range<double>(
+      ctx, range, master, "fix_hopt_estimator",
+      [&](std::size_t, rngx::Rng& rng) {
+        const auto seeds = base_seeds.with_randomized_set(randomized, rng);
+        return measure_with_params(pipeline, pool, splitter, lambda, seeds,
+                                   &counter);
+      });
   return summarize(std::move(measures), counter.fits);
+}
+
+EstimatorResult fix_hopt_estimator(const exec::ExecContext& ctx,
+                                   const LearningPipeline& pipeline,
+                                   const ml::Dataset& pool,
+                                   const Splitter& splitter,
+                                   const HpoRunConfig& hpo, std::size_t k,
+                                   RandomizeSubset subset, rngx::Rng& master) {
+  return fix_hopt_estimator(ctx, pipeline, pool, splitter, hpo, k, subset,
+                            exec::IndexRange{0, k}, master);
+}
+
+EstimatorResult fix_hopt_estimator(const LearningPipeline& pipeline,
+                                   const ml::Dataset& pool,
+                                   const Splitter& splitter,
+                                   const HpoRunConfig& hpo, std::size_t k,
+                                   RandomizeSubset subset,
+                                   rngx::Rng& master) {
+  return fix_hopt_estimator(exec::ExecContext::serial(), pipeline, pool,
+                            splitter, hpo, k, subset, master);
 }
 
 std::size_t ideal_estimator_cost(std::size_t k, std::size_t t) {

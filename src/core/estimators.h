@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/core/pipeline.h"
+#include "src/exec/parallel_replicate.h"
 #include "src/rngx/variation.h"
 
 namespace varbench::core {
@@ -39,6 +40,25 @@ struct EstimatorResult {
 };
 
 /// Algorithm 1 (IdealEst). Requires O(k·(T+1)) fits.
+///
+/// The k measurements are independent given per-index RNG streams; `ctx`
+/// fans them out with the usual thread-count-invariance guarantee, and
+/// `range` restricts the run to the global measurement indices
+/// [range.begin, range.end) of a k-measurement estimate (shard execution:
+/// the subrange's measures are bit-identical to the corresponding slice of
+/// the full run). Exactly one u64 is drawn from `master` regardless of k,
+/// range, and thread count.
+[[nodiscard]] EstimatorResult ideal_estimator(
+    const exec::ExecContext& ctx, const LearningPipeline& pipeline,
+    const ml::Dataset& pool, const Splitter& splitter, const HpoRunConfig& hpo,
+    std::size_t k, exec::IndexRange range, rngx::Rng& master);
+
+[[nodiscard]] EstimatorResult ideal_estimator(
+    const exec::ExecContext& ctx, const LearningPipeline& pipeline,
+    const ml::Dataset& pool, const Splitter& splitter, const HpoRunConfig& hpo,
+    std::size_t k, rngx::Rng& master);
+
+/// Serial convenience — the same computation with no fan-out.
 [[nodiscard]] EstimatorResult ideal_estimator(const LearningPipeline& pipeline,
                                               const ml::Dataset& pool,
                                               const Splitter& splitter,
@@ -47,7 +67,22 @@ struct EstimatorResult {
                                               rngx::Rng& master);
 
 /// Algorithm 2 (FixHOptEst). Requires O(k+T) fits. `subset` selects which
-/// ξO sources are re-randomized between the k measurements.
+/// ξO sources are re-randomized between the k measurements. Stage 1 (the
+/// single HOpt fixing λ̂*) always runs in full — shard runs repeat it — so
+/// that every shard measures against the same λ̂*; `range` then restricts
+/// stage 2 exactly as for ideal_estimator.
+[[nodiscard]] EstimatorResult fix_hopt_estimator(
+    const exec::ExecContext& ctx, const LearningPipeline& pipeline,
+    const ml::Dataset& pool, const Splitter& splitter, const HpoRunConfig& hpo,
+    std::size_t k, RandomizeSubset subset, exec::IndexRange range,
+    rngx::Rng& master);
+
+[[nodiscard]] EstimatorResult fix_hopt_estimator(
+    const exec::ExecContext& ctx, const LearningPipeline& pipeline,
+    const ml::Dataset& pool, const Splitter& splitter, const HpoRunConfig& hpo,
+    std::size_t k, RandomizeSubset subset, rngx::Rng& master);
+
+/// Serial convenience — the same computation with no fan-out.
 [[nodiscard]] EstimatorResult fix_hopt_estimator(
     const LearningPipeline& pipeline, const ml::Dataset& pool,
     const Splitter& splitter, const HpoRunConfig& hpo, std::size_t k,

@@ -21,8 +21,10 @@ SourceVariance summarize(rngx::VariationSource source, std::string label,
   SourceVariance row;
   row.source = source;
   row.label = std::move(label);
-  row.mean = stats::mean(measures);
-  row.stddev = stats::stddev(measures);
+  // A shard whose slice of this group is empty still yields a (rowless)
+  // result; statistics only mean something on the merged whole.
+  row.mean = measures.empty() ? 0.0 : stats::mean(measures);
+  row.stddev = measures.empty() ? 0.0 : stats::stddev(measures);
   row.measures = std::move(measures);
   return row;
 }
@@ -37,6 +39,15 @@ VarianceStudyResult run_variance_study(const LearningPipeline& pipeline,
   if (config.repetitions < 2) {
     throw std::invalid_argument("run_variance_study: repetitions < 2");
   }
+  if (config.shard_count == 0 || config.shard_index >= config.shard_count) {
+    throw std::invalid_argument(
+        "run_variance_study: shard " + std::to_string(config.shard_index) +
+        "/" + std::to_string(config.shard_count) +
+        " (need shard_index < shard_count, shard_count >= 1)");
+  }
+  const auto slice = [&](std::size_t reps) {
+    return exec::shard_subrange(reps, config.shard_index, config.shard_count);
+  };
   VarianceStudyResult result;
   const rngx::VariationSeeds base;  // all seeds fixed to defaults
   const hpo::ParamPoint defaults = pipeline.default_params();
@@ -54,9 +65,9 @@ VarianceStudyResult run_variance_study(const LearningPipeline& pipeline,
   };
 
   for (const auto& probe : kProbes) {
-    auto measures = exec::parallel_replicate<double>(
-        config.exec, config.repetitions, master, rngx::to_string(probe.source),
-        [&](std::size_t, rngx::Rng& rng) {
+    auto measures = exec::parallel_replicate_range<double>(
+        config.exec, slice(config.repetitions), master,
+        rngx::to_string(probe.source), [&](std::size_t, rngx::Rng& rng) {
           const auto seeds = base.with_randomized(probe.source, rng);
           return measure_with_params(pipeline, pool, splitter, defaults, seeds);
         });
@@ -66,8 +77,8 @@ VarianceStudyResult run_variance_study(const LearningPipeline& pipeline,
 
   if (config.include_numerical_noise) {
     // All seeds fixed; any remaining fluctuation is "numerical noise".
-    auto measures = exec::parallel_replicate<double>(
-        config.exec, config.repetitions, master, "numerical_noise",
+    auto measures = exec::parallel_replicate_range<double>(
+        config.exec, slice(config.repetitions), master, "numerical_noise",
         [&](std::size_t, rngx::Rng&) {
           return measure_with_params(pipeline, pool, splitter, defaults, base);
         });
@@ -86,8 +97,8 @@ VarianceStudyResult run_variance_study(const LearningPipeline& pipeline,
     // The repetition loop owns the hardware; HOpt's trial loop stays serial
     // inside each repetition to avoid oversubscription.
     hpo_cfg.exec = exec::ExecContext::serial();
-    auto measures = exec::parallel_replicate<double>(
-        config.exec, config.hpo_repetitions, master, algo_name,
+    auto measures = exec::parallel_replicate_range<double>(
+        config.exec, slice(config.hpo_repetitions), master, algo_name,
         [&](std::size_t, rngx::Rng& rng) {
           const auto seeds =
               base.with_randomized(rngx::VariationSource::kHpo, rng);

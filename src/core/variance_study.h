@@ -32,6 +32,15 @@ struct VarianceStudyConfig {
   // Repetitions are independent given per-index RNG streams; the study result
   // is bit-identical for every num_threads (see docs/determinism.md).
   exec::ExecContext exec;
+  // Shard execution (docs/study_api.md): compute only the contiguous slice
+  // shard_subrange(repetitions, shard_index, shard_count) of every
+  // repetition loop (and likewise of the hpo_repetitions loops). Because
+  // per-repetition RNG streams are keyed by the global repetition index,
+  // each row's measures are bit-identical to the corresponding slice of the
+  // unsharded run; concatenating the slices of all shards reconstructs it
+  // exactly. Default 0/1 = the whole study.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 };
 
 struct VarianceStudyResult {

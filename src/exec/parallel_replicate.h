@@ -27,6 +27,64 @@ namespace varbench::exec {
   return rngx::splitmix64(state);
 }
 
+/// A contiguous slice [begin, end) of a replicate index space — the unit of
+/// process-level sharding. Per-index RNG streams are keyed by the *global*
+/// index, so computing any subrange yields exactly the values the full run
+/// would produce at those indices (docs/study_api.md).
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] constexpr std::size_t size() const { return end - begin; }
+  friend constexpr bool operator==(const IndexRange&,
+                                   const IndexRange&) = default;
+};
+
+/// The balanced contiguous partition of [0, n) into `shard_count` slices:
+/// slice i gets floor/ceil(n / count) items, earlier slices the larger share.
+/// shard_subrange(n, 0, 1) == {0, n}; slices for i = 0..count-1 tile [0, n).
+[[nodiscard]] constexpr IndexRange shard_subrange(std::size_t n,
+                                                  std::size_t shard_index,
+                                                  std::size_t shard_count) {
+  const std::size_t base = n / shard_count;
+  const std::size_t extra = n % shard_count;
+  const std::size_t begin =
+      shard_index * base + (shard_index < extra ? shard_index : extra);
+  const std::size_t len = base + (shard_index < extra ? 1 : 0);
+  return IndexRange{begin, begin + len};
+}
+
+/// Run `fn(global_index, rng)` for every global index in `range`, each with
+/// an independent child Rng derived from (master_seed, tag, global_index),
+/// and collect the results in index order (out[j] is global index
+/// range.begin + j). T must be default-constructible and movable.
+template <typename T, typename Fn>
+[[nodiscard]] std::vector<T> parallel_replicate_range(
+    const ExecContext& ctx, IndexRange range, std::uint64_t master_seed,
+    std::string_view tag, Fn&& fn) {
+  const std::uint64_t stream_seed = rngx::derive_seed(master_seed, tag);
+  std::vector<T> out(range.size());
+  parallel_for(ctx, 0, range.size(), [&](std::size_t j) {
+    const std::size_t i = range.begin + j;
+    rngx::Rng rng{replicate_seed(stream_seed, i)};
+    out[j] = fn(i, rng);
+  });
+  return out;
+}
+
+/// As above with the master seed drawn from `master` — exactly one draw,
+/// independent of the range, the total n, and the thread count, so shard
+/// runs advance the parent stream identically to the unsharded run.
+template <typename T, typename Fn>
+[[nodiscard]] std::vector<T> parallel_replicate_range(const ExecContext& ctx,
+                                                      IndexRange range,
+                                                      rngx::Rng& master,
+                                                      std::string_view tag,
+                                                      Fn&& fn) {
+  return parallel_replicate_range<T>(ctx, range, master.next_u64(), tag,
+                                     std::forward<Fn>(fn));
+}
+
 /// Run `fn(index, rng)` for index in [0, n), each with an independent child
 /// Rng derived from (master_seed, tag, index), and collect the results in
 /// index order. T must be default-constructible and movable.
@@ -35,13 +93,8 @@ template <typename T, typename Fn>
                                                 std::size_t n,
                                                 std::uint64_t master_seed,
                                                 std::string_view tag, Fn&& fn) {
-  const std::uint64_t stream_seed = rngx::derive_seed(master_seed, tag);
-  std::vector<T> out(n);
-  parallel_for(ctx, 0, n, [&](std::size_t i) {
-    rngx::Rng rng{replicate_seed(stream_seed, i)};
-    out[i] = fn(i, rng);
-  });
-  return out;
+  return parallel_replicate_range<T>(ctx, IndexRange{0, n}, master_seed, tag,
+                                     std::forward<Fn>(fn));
 }
 
 /// As above, but the master seed is drawn from `master` — exactly one draw,

@@ -33,13 +33,14 @@ std::string_view to_string(ComparisonConclusion c) {
 }
 
 ProbOutperformResult test_probability_of_outperforming(
-    std::span<const double> a, std::span<const double> b, rngx::Rng& rng,
-    double gamma, std::size_t num_resamples, double alpha) {
+    const exec::ExecContext& ctx, std::span<const double> a,
+    std::span<const double> b, rngx::Rng& rng, double gamma,
+    std::size_t num_resamples, double alpha) {
   ProbOutperformResult result;
   result.gamma = gamma;
   result.p_a_greater_b = probability_of_outperforming(a, b);
   result.ci = paired_percentile_bootstrap_ci(
-      a, b,
+      ctx, a, b,
       [](std::span<const double> ra, std::span<const double> rb) {
         return probability_of_outperforming(ra, rb);
       },
@@ -52,6 +53,13 @@ ProbOutperformResult test_probability_of_outperforming(
     result.conclusion = ComparisonConclusion::kSignificantAndMeaningful;
   }
   return result;
+}
+
+ProbOutperformResult test_probability_of_outperforming(
+    std::span<const double> a, std::span<const double> b, rngx::Rng& rng,
+    double gamma, std::size_t num_resamples, double alpha) {
+  return test_probability_of_outperforming(exec::ExecContext::serial(), a, b,
+                                           rng, gamma, num_resamples, alpha);
 }
 
 }  // namespace varbench::stats

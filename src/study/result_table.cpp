@@ -1,0 +1,237 @@
+#include "src/study/result_table.h"
+
+#include <algorithm>
+
+namespace varbench::study {
+
+namespace {
+
+constexpr std::string_view kTableSchema = "varbench.result_table.v1";
+
+void require_scalar(const Cell& cell) {
+  if (cell.is_array() || cell.is_object()) {
+    throw io::JsonError("result table: cells must be scalars, got " +
+                        std::string{io::to_string(cell.type())});
+  }
+}
+
+}  // namespace
+
+void ResultTable::add_row(Row row) {
+  if (row.size() != columns.size()) {
+    throw io::JsonError("result table '" + name + "': row arity " +
+                        std::to_string(row.size()) + " != " +
+                        std::to_string(columns.size()) + " columns");
+  }
+  for (const Cell& cell : row) require_scalar(cell);
+  rows.push_back(std::move(row));
+}
+
+std::size_t ResultTable::column_index(std::string_view column) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == column) return i;
+  }
+  std::string have;
+  for (const auto& c : columns) {
+    if (!have.empty()) have += ", ";
+    have += "'" + c + "'";
+  }
+  throw io::JsonError("result table '" + name + "': no column '" +
+                      std::string{column} + "' (columns: " + have + ")");
+}
+
+bool ResultTable::has_column(std::string_view column) const {
+  return std::find(columns.begin(), columns.end(), column) != columns.end();
+}
+
+std::vector<double> ResultTable::column_values(std::string_view column) const {
+  const std::size_t ci = column_index(column);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) out.push_back(row[ci].as_double());
+  return out;
+}
+
+io::Json ResultTable::to_json(bool include_provenance) const {
+  io::Json doc = io::Json::object();
+  doc.set("schema", io::Json{kTableSchema});
+  doc.set("name", io::Json{name});
+  if (spec.has_value()) doc.set("spec", spec->to_json());
+  io::Json meta = io::Json::object();
+  meta.set("seed", io::Json{seed});
+  io::Json s = io::Json::object();
+  s.set("index", io::Json{shard.index});
+  s.set("count", io::Json{shard.count});
+  meta.set("shard", std::move(s));
+  doc.set("meta", std::move(meta));
+  io::Json cols = io::Json::array();
+  for (const auto& c : columns) cols.push_back(io::Json{c});
+  doc.set("columns", std::move(cols));
+  io::Json data = io::Json::array();
+  for (const Row& row : rows) {
+    io::Json r = io::Json::array();
+    for (const Cell& cell : row) r.push_back(cell);
+    data.push_back(std::move(r));
+  }
+  doc.set("rows", std::move(data));
+  if (include_provenance) {
+    io::Json prov = io::Json::object();
+    prov.set("threads", io::Json{threads});
+    prov.set("wall_time_ms", io::Json{wall_time_ms});
+    doc.set("provenance", std::move(prov));
+  }
+  return doc;
+}
+
+std::string ResultTable::to_json_text(bool include_provenance) const {
+  return to_json(include_provenance).dump(2) + "\n";
+}
+
+std::string ResultTable::to_csv() const {
+  const auto field = [](const Cell& cell) -> std::string {
+    if (cell.is_null()) return "";  // RFC-4180 convention for missing data
+    std::string raw = cell.is_string() ? cell.as_string() : cell.dump();
+    if (raw.find_first_of(",\"\n") == std::string::npos) return raw;
+    std::string quoted = "\"";
+    for (const char c : raw) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::string out;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ',';
+    out += field(Cell{columns[i]});
+  }
+  out += '\n';
+  for (const Row& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += field(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+ResultTable ResultTable::from_json(const io::Json& doc) {
+  if (!doc.is_object()) {
+    throw io::JsonError("result table: document must be a JSON object");
+  }
+  const std::string& schema = doc.at("schema").as_string();
+  if (schema != kTableSchema) {
+    throw io::JsonError("result table: unsupported schema '" + schema +
+                        "' (this build reads '" + std::string{kTableSchema} +
+                        "')");
+  }
+  ResultTable t;
+  t.name = doc.at("name").as_string();
+  if (const io::Json* spec = doc.find("spec")) {
+    t.spec = StudySpec::from_json(*spec);
+  }
+  const io::Json& meta = doc.at("meta");
+  t.seed = meta.at("seed").as_uint64();
+  const io::Json& shard = meta.at("shard");
+  t.shard.index = static_cast<std::size_t>(shard.at("index").as_uint64());
+  t.shard.count = static_cast<std::size_t>(shard.at("count").as_uint64());
+  if (t.shard.count == 0 || t.shard.index >= t.shard.count) {
+    throw io::JsonError("result table: invalid shard " + t.shard.label());
+  }
+  for (const io::Json& c : doc.at("columns").as_array()) {
+    t.columns.push_back(c.as_string());
+  }
+  if (t.columns.empty()) {
+    throw io::JsonError("result table: no columns");
+  }
+  for (const io::Json& row : doc.at("rows").as_array()) {
+    Row r;
+    for (const io::Json& cell : row.as_array()) r.push_back(cell);
+    t.add_row(std::move(r));
+  }
+  if (const io::Json* prov = doc.find("provenance")) {
+    if (const io::Json* v = prov->find("threads")) {
+      t.threads = static_cast<std::size_t>(v->as_uint64());
+    }
+    if (const io::Json* v = prov->find("wall_time_ms")) {
+      t.wall_time_ms = v->as_double();
+    }
+  }
+  return t;
+}
+
+ResultTable ResultTable::from_json_text(std::string_view text) {
+  return from_json(io::Json::parse(text));
+}
+
+ResultTable merge_result_tables(std::vector<ResultTable> shards) {
+  if (shards.empty()) {
+    throw io::JsonError("merge: no shard tables given");
+  }
+  const std::size_t count = shards.front().shard.count;
+  if (shards.size() != count) {
+    throw io::JsonError("merge: got " + std::to_string(shards.size()) +
+                        " tables for a " + std::to_string(count) +
+                        "-shard study (need every shard exactly once)");
+  }
+  std::sort(shards.begin(), shards.end(),
+            [](const ResultTable& a, const ResultTable& b) {
+              return a.shard.index < b.shard.index;
+            });
+  const ResultTable& first = shards.front();
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ResultTable& t = shards[i];
+    if (t.shard.count != count) {
+      throw io::JsonError("merge: shard counts disagree (" + t.shard.label() +
+                          " vs ../" + std::to_string(count) + ")");
+    }
+    if (t.shard.index != i) {
+      throw io::JsonError(
+          "merge: shard " + std::to_string(i) + " is " +
+          (t.shard.index < i ? "duplicated" : "missing") +
+          " (have shard " + t.shard.label() + " instead)");
+    }
+    if (t.name != first.name || t.spec != first.spec ||
+        t.seed != first.seed || t.columns != first.columns) {
+      throw io::JsonError("merge: table " + std::to_string(i) +
+                          " ('" + t.name + "', seed " +
+                          std::to_string(t.seed) +
+                          ") does not belong to the same study as shard 0 ('" +
+                          first.name + "', seed " +
+                          std::to_string(first.seed) +
+                          ") — name, spec, seed, and columns must all match");
+    }
+  }
+
+  ResultTable merged;
+  merged.name = first.name;
+  merged.spec = first.spec;
+  merged.seed = first.seed;
+  merged.shard = ShardSpec{};  // unsharded normal form
+  merged.threads = 0;          // mixed; provenance only
+  merged.columns = first.columns;
+  for (ResultTable& t : shards) {
+    merged.wall_time_ms += t.wall_time_ms;
+    for (Row& row : t.rows) merged.rows.push_back(std::move(row));
+  }
+  // Restore the canonical (unsharded) row order: ascending "seq". Each
+  // shard's rows are already seq-sorted, so a stable sort just interleaves.
+  const std::size_t seq_col = merged.column_index("seq");
+  std::stable_sort(merged.rows.begin(), merged.rows.end(),
+                   [seq_col](const Row& a, const Row& b) {
+                     return a[seq_col].as_uint64() < b[seq_col].as_uint64();
+                   });
+  for (std::size_t i = 0; i < merged.rows.size(); ++i) {
+    const std::uint64_t seq = merged.rows[i][seq_col].as_uint64();
+    if (seq != i) {
+      throw io::JsonError(
+          "merge: row sequence broken at position " + std::to_string(i) +
+          " (seq " + std::to_string(seq) + ") — a shard is missing rows or " +
+          "two shards overlap");
+    }
+  }
+  return merged;
+}
+
+}  // namespace varbench::study

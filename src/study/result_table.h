@@ -1,0 +1,87 @@
+// The canonical result artifact: one named-column table of raw,
+// per-repetition values plus the metadata needed to reproduce and merge it
+// (spec, seed, shard, threads, wall time). Tables hold raw measures — not
+// aggregates — so that merging shard tables reconstructs the unsharded
+// result exactly and every summary statistic is derivable downstream.
+//
+// Identity vs provenance: columns, rows, spec, seed, and shard define WHAT
+// was computed and are bit-stable under the determinism contract; threads
+// and wall time describe HOW it was computed and can never be (wall time is
+// wall time). `to_json(false)` / `canonical_text()` serialize identity
+// only — that is the form the shard/merge equality check and the CI diff
+// operate on (docs/study_api.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/io/json.h"
+#include "src/study/study_spec.h"
+
+namespace varbench::study {
+
+/// Cells are scalar JSON values (numbers keep their kind, strings stay
+/// strings), so serialization is exact in both directions.
+using Cell = io::Json;
+using Row = std::vector<Cell>;
+
+class ResultTable {
+ public:
+  /// Artifact name, e.g. "variance:cifar10_vgg11" or a bench figure id.
+  std::string name;
+  /// The producing spec, in execution-normal form: shard cleared (the
+  /// artifact's own slice lives in `shard`) and threads reset to 1 — both
+  /// are execution details results are invariant to; `provenance` records
+  /// the actual values. Absent for tables emitted by bench harnesses that
+  /// are not spec-driven.
+  std::optional<StudySpec> spec;
+  ShardSpec shard;             // which slice of the study this table holds
+  std::uint64_t seed = 0;      // identity metadata (== spec->seed when set)
+  std::size_t threads = 1;     // provenance
+  double wall_time_ms = 0.0;   // provenance
+
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  /// Append with arity check; the first column is conventionally "seq", the
+  /// row's global position in the unsharded enumeration (merge sorts on it).
+  void add_row(Row row);
+
+  [[nodiscard]] std::size_t column_index(std::string_view column) const;
+  [[nodiscard]] bool has_column(std::string_view column) const;
+
+  /// All values of one column as doubles (throws on non-numeric cells).
+  [[nodiscard]] std::vector<double> column_values(
+      std::string_view column) const;
+
+  [[nodiscard]] bool is_complete() const { return shard.is_unsharded(); }
+
+  friend bool operator==(const ResultTable&, const ResultTable&) = default;
+
+  [[nodiscard]] io::Json to_json(bool include_provenance = true) const;
+  [[nodiscard]] std::string to_json_text(bool include_provenance = true) const;
+  /// Identity-only serialization — byte-comparable across shard/merge runs
+  /// and thread counts.
+  [[nodiscard]] std::string canonical_text() const {
+    return to_json_text(/*include_provenance=*/false);
+  }
+
+  /// RFC-4180-style CSV of the data (header + rows; metadata is JSON-only).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] static ResultTable from_json(const io::Json& doc);
+  [[nodiscard]] static ResultTable from_json_text(std::string_view text);
+};
+
+/// Join shard tables into the exact unsharded table: validates that all
+/// shards share one spec/columns/seed and form a complete partition
+/// 0..count-1, concatenates the rows, and restores canonical row order by
+/// the "seq" column (which must come out as exactly 0..n-1). The merged
+/// provenance is threads = 0 (mixed) and wall_time_ms = Σ shard wall times.
+/// Throws io::JsonError on incompatible, missing, or overlapping shards.
+[[nodiscard]] ResultTable merge_result_tables(std::vector<ResultTable> shards);
+
+}  // namespace varbench::study

@@ -1,0 +1,44 @@
+// run_study(spec): the single entry point that dispatches a StudySpec onto
+// the core/, compare/, and stats/ engines and returns the canonical
+// ResultTable artifact. Runners are looked up in a registry keyed by
+// StudyKind, so embedders can add study kinds without touching the CLI.
+//
+// Every built-in runner honours the spec's shard slice: it computes only
+// the global repetition indices of shard_subrange(n, i, N) per repetition
+// loop, on per-index RNG streams, so merge_result_tables() over all N
+// shard artifacts is bit-identical to the unsharded artifact
+// (docs/study_api.md).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "src/study/result_table.h"
+#include "src/study/study_spec.h"
+
+namespace varbench::study {
+
+/// Produces the table body (columns + rows). run_study() fills in the
+/// artifact metadata (name, spec, shard, seed, threads, wall time).
+using StudyRunner = std::function<ResultTable(const StudySpec&)>;
+
+/// Register or replace the runner for a kind. Built-in runners for every
+/// StudyKind are installed on first use of the registry.
+void register_study_runner(StudyKind kind, StudyRunner runner);
+
+[[nodiscard]] bool has_study_runner(StudyKind kind);
+
+/// Validate the spec (known case study, kind-specific constraints), run
+/// the registered runner, and stamp the artifact metadata. Throws
+/// io::JsonError / std::invalid_argument with actionable messages.
+[[nodiscard]] ResultTable run_study(const StudySpec& spec);
+
+/// Human-readable summary of a *complete* table (shard 1/1), computed from
+/// the raw rows: per-source statistics for variance studies, the P(A>B)
+/// decision for comparisons, detection-rate curves, etc. Spec-driven
+/// tables print the same numbers the legacy subcommands printed. For a
+/// partial (shard) table, prints a note pointing at `varbench merge`.
+void print_summary(const ResultTable& table, std::FILE* out);
+
+}  // namespace varbench::study

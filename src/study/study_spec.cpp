@@ -1,0 +1,397 @@
+#include "src/study/study_spec.h"
+
+#include <charconv>
+#include <cmath>
+
+namespace varbench::study {
+
+namespace {
+
+constexpr std::string_view kSpecSchema = "varbench.study_spec.v1";
+
+struct KindName {
+  StudyKind kind;
+  std::string_view name;
+};
+
+constexpr KindName kKindNames[] = {
+    {StudyKind::kVariance, "variance"}, {StudyKind::kCompare, "compare"},
+    {StudyKind::kHpo, "hpo"},           {StudyKind::kEstimator, "estimator"},
+    {StudyKind::kDetection, "detection"},
+};
+
+std::string known_kinds() {
+  std::string out;
+  for (const auto& [kind, name] : kKindNames) {
+    if (!out.empty()) out += ", ";
+    out += "'" + std::string{name} + "'";
+  }
+  return out;
+}
+
+/// Tracks which keys of an object were consumed, so typos fail loudly
+/// instead of silently running with defaults.
+class ObjectReader {
+ public:
+  ObjectReader(const io::Json& obj, std::string_view where)
+      : obj_{obj}, where_{where} {
+    (void)obj_.as_object();  // type check up front
+  }
+
+  [[nodiscard]] const io::Json* find(std::string_view key) {
+    seen_.emplace_back(key);
+    return obj_.find(key);
+  }
+
+  [[nodiscard]] const io::Json& at(std::string_view key) {
+    const io::Json* v = find(key);
+    if (v == nullptr) {
+      throw io::JsonError("spec: missing required key '" + std::string{key} +
+                          "' in " + std::string{where_});
+    }
+    return *v;
+  }
+
+  /// Call after all reads: any key never asked for is unknown.
+  void reject_unknown_keys() const {
+    for (const auto& [key, value] : obj_.as_object()) {
+      bool known = false;
+      for (const auto& s : seen_) {
+        if (s == key) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        std::string expected;
+        for (const auto& s : seen_) {
+          if (!expected.empty()) expected += ", ";
+          expected += "'" + s + "'";
+        }
+        throw io::JsonError("spec: unknown key '" + key + "' in " +
+                            std::string{where_} + " (expected one of: " +
+                            expected + ")");
+      }
+    }
+  }
+
+ private:
+  const io::Json& obj_;
+  std::string_view where_;
+  std::vector<std::string> seen_;
+};
+
+std::size_t read_size(const io::Json& v, std::string_view key) {
+  try {
+    return static_cast<std::size_t>(v.as_uint64());
+  } catch (const io::JsonError&) {
+    throw io::JsonError("spec: '" + std::string{key} +
+                        "' must be a non-negative integer, got " + v.dump());
+  }
+}
+
+double read_double(const io::Json& v, std::string_view key) {
+  if (!v.is_number()) {
+    throw io::JsonError("spec: '" + std::string{key} + "' must be a number, " +
+                        "got " + v.dump());
+  }
+  return v.as_double();
+}
+
+std::string read_string(const io::Json& v, std::string_view key) {
+  if (!v.is_string()) {
+    throw io::JsonError("spec: '" + std::string{key} + "' must be a string, " +
+                        "got " + v.dump());
+  }
+  return v.as_string();
+}
+
+std::vector<std::string> read_string_array(const io::Json& v,
+                                           std::string_view key) {
+  std::vector<std::string> out;
+  for (const io::Json& item : v.as_array()) out.push_back(read_string(item, key));
+  return out;
+}
+
+io::Json string_array(const std::vector<std::string>& v) {
+  io::Json arr = io::Json::array();
+  for (const auto& s : v) arr.push_back(io::Json{s});
+  return arr;
+}
+
+io::Json double_array(const std::vector<double>& v) {
+  io::Json arr = io::Json::array();
+  for (const double d : v) arr.push_back(io::Json{d});
+  return arr;
+}
+
+io::Json params_to_json(const StudySpec& spec) {
+  io::Json p = io::Json::object();
+  switch (spec.kind) {
+    case StudyKind::kVariance:
+      p.set("hpo_algorithms", string_array(spec.variance.hpo_algorithms));
+      p.set("hpo_repetitions", io::Json{spec.variance.hpo_repetitions});
+      p.set("hpo_budget", io::Json{spec.variance.hpo_budget});
+      p.set("include_numerical_noise",
+            io::Json{spec.variance.include_numerical_noise});
+      break;
+    case StudyKind::kCompare:
+      p.set("lr_mult", io::Json{spec.compare.lr_mult});
+      p.set("gamma", io::Json{spec.compare.gamma});
+      p.set("num_resamples", io::Json{spec.compare.num_resamples});
+      break;
+    case StudyKind::kHpo:
+      p.set("algo", io::Json{spec.hpo.algo});
+      p.set("budget", io::Json{spec.hpo.budget});
+      break;
+    case StudyKind::kEstimator:
+      p.set("estimators", string_array(spec.estimator.estimators));
+      p.set("hpo_algo", io::Json{spec.estimator.hpo_algo});
+      p.set("hpo_budget", io::Json{spec.estimator.hpo_budget});
+      break;
+    case StudyKind::kDetection:
+      p.set("estimator", io::Json{spec.detection.estimator});
+      p.set("k", io::Json{spec.detection.k});
+      p.set("gamma", io::Json{spec.detection.gamma});
+      p.set("resamples", io::Json{spec.detection.resamples});
+      p.set("p_grid", double_array(spec.detection.p_grid));
+      break;
+  }
+  return p;
+}
+
+void params_from_json(StudySpec& spec, const io::Json& p) {
+  ObjectReader r{p, "'params'"};
+  switch (spec.kind) {
+    case StudyKind::kVariance:
+      if (const auto* v = r.find("hpo_algorithms")) {
+        spec.variance.hpo_algorithms = read_string_array(*v, "hpo_algorithms");
+      }
+      if (const auto* v = r.find("hpo_repetitions")) {
+        spec.variance.hpo_repetitions = read_size(*v, "hpo_repetitions");
+      }
+      if (const auto* v = r.find("hpo_budget")) {
+        spec.variance.hpo_budget = read_size(*v, "hpo_budget");
+      }
+      if (const auto* v = r.find("include_numerical_noise")) {
+        spec.variance.include_numerical_noise = v->as_bool();
+      }
+      break;
+    case StudyKind::kCompare:
+      if (const auto* v = r.find("lr_mult")) {
+        spec.compare.lr_mult = read_double(*v, "lr_mult");
+      }
+      if (const auto* v = r.find("gamma")) {
+        spec.compare.gamma = read_double(*v, "gamma");
+      }
+      if (const auto* v = r.find("num_resamples")) {
+        spec.compare.num_resamples = read_size(*v, "num_resamples");
+      }
+      break;
+    case StudyKind::kHpo:
+      if (const auto* v = r.find("algo")) spec.hpo.algo = read_string(*v, "algo");
+      if (const auto* v = r.find("budget")) {
+        spec.hpo.budget = read_size(*v, "budget");
+      }
+      break;
+    case StudyKind::kEstimator:
+      if (const auto* v = r.find("estimators")) {
+        spec.estimator.estimators = read_string_array(*v, "estimators");
+      }
+      if (const auto* v = r.find("hpo_algo")) {
+        spec.estimator.hpo_algo = read_string(*v, "hpo_algo");
+      }
+      if (const auto* v = r.find("hpo_budget")) {
+        spec.estimator.hpo_budget = read_size(*v, "hpo_budget");
+      }
+      break;
+    case StudyKind::kDetection:
+      if (const auto* v = r.find("estimator")) {
+        spec.detection.estimator = read_string(*v, "estimator");
+      }
+      if (const auto* v = r.find("k")) spec.detection.k = read_size(*v, "k");
+      if (const auto* v = r.find("gamma")) {
+        spec.detection.gamma = read_double(*v, "gamma");
+      }
+      if (const auto* v = r.find("resamples")) {
+        spec.detection.resamples = read_size(*v, "resamples");
+      }
+      if (const auto* v = r.find("p_grid")) {
+        spec.detection.p_grid.clear();
+        for (const io::Json& item : v->as_array()) {
+          spec.detection.p_grid.push_back(read_double(item, "p_grid"));
+        }
+      }
+      break;
+  }
+  r.reject_unknown_keys();
+}
+
+void validate_common(const StudySpec& spec) {
+  if (spec.case_study.empty()) {
+    throw io::JsonError("spec: 'case_study' must not be empty");
+  }
+  if (!(spec.scale > 0.0) || spec.scale > 1.0) {
+    throw io::JsonError("spec: 'scale' must be in (0, 1], got " +
+                        std::to_string(spec.scale));
+  }
+  if (spec.repetitions == 0) {
+    throw io::JsonError("spec: 'repetitions' must be >= 1");
+  }
+  if (spec.shard.count == 0 || spec.shard.index >= spec.shard.count) {
+    throw io::JsonError("spec: shard " + spec.shard.label() +
+                        " invalid (need index < count, count >= 1)");
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(StudyKind kind) {
+  for (const auto& [k, name] : kKindNames) {
+    if (k == kind) return name;
+  }
+  return "unknown";
+}
+
+StudyKind study_kind_from_string(std::string_view name) {
+  for (const auto& [kind, n] : kKindNames) {
+    if (n == name) return kind;
+  }
+  throw io::JsonError("spec: unknown study kind '" + std::string{name} +
+                      "' (known kinds: " + known_kinds() + ")");
+}
+
+ShardSpec ShardSpec::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  const auto parse_part = [&](std::string_view part,
+                              std::string_view what) -> std::size_t {
+    std::size_t value = 0;
+    const auto [p, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), value);
+    if (ec != std::errc{} || p != part.data() + part.size() || part.empty()) {
+      throw io::JsonError("shard: " + std::string{what} + " '" +
+                          std::string{part} + "' is not a non-negative " +
+                          "integer (expected i/N, e.g. 0/2)");
+    }
+    return value;
+  };
+  if (slash == std::string_view::npos) {
+    throw io::JsonError("shard: '" + std::string{text} +
+                        "' is not of the form i/N (e.g. 0/2)");
+  }
+  ShardSpec shard;
+  shard.index = parse_part(text.substr(0, slash), "index");
+  shard.count = parse_part(text.substr(slash + 1), "count");
+  if (shard.count == 0 || shard.index >= shard.count) {
+    throw io::JsonError("shard: " + shard.label() +
+                        " invalid (need index < count, count >= 1)");
+  }
+  return shard;
+}
+
+io::Json StudySpec::to_json() const {
+  io::Json doc = io::Json::object();
+  doc.set("schema", io::Json{kSpecSchema});
+  doc.set("kind", io::Json{to_string(kind)});
+  doc.set("case_study", io::Json{case_study});
+  doc.set("scale", io::Json{scale});
+  doc.set("seed", io::Json{seed});
+  doc.set("repetitions", io::Json{repetitions});
+  doc.set("threads", io::Json{threads});
+  if (!shard.is_unsharded()) {
+    io::Json s = io::Json::object();
+    s.set("index", io::Json{shard.index});
+    s.set("count", io::Json{shard.count});
+    doc.set("shard", std::move(s));
+  }
+  doc.set("params", params_to_json(*this));
+  return doc;
+}
+
+std::string StudySpec::to_json_text() const { return to_json().dump(2) + "\n"; }
+
+StudySpec StudySpec::from_json(const io::Json& doc) {
+  if (!doc.is_object()) {
+    throw io::JsonError("spec: document must be a JSON object, got " +
+                        std::string{io::to_string(doc.type())});
+  }
+  ObjectReader r{doc, "the spec"};
+  if (const auto* schema = r.find("schema")) {
+    const std::string& s = read_string(*schema, "schema");
+    if (s != kSpecSchema) {
+      throw io::JsonError("spec: unsupported schema '" + s + "' (this build " +
+                          "reads '" + std::string{kSpecSchema} + "')");
+    }
+  }
+  StudySpec spec;
+  spec.kind = study_kind_from_string(read_string(r.at("kind"), "kind"));
+  // The shared default (20) is wrong for the one-run hpo kind; a spec that
+  // omits 'repetitions' should be valid for every kind.
+  if (spec.kind == StudyKind::kHpo) spec.repetitions = 1;
+  spec.case_study = read_string(r.at("case_study"), "case_study");
+  if (const auto* v = r.find("scale")) spec.scale = read_double(*v, "scale");
+  if (const auto* v = r.find("seed")) {
+    spec.seed = read_size(*v, "seed");  // u64 == size_t on this platform
+  }
+  if (const auto* v = r.find("repetitions")) {
+    spec.repetitions = read_size(*v, "repetitions");
+  }
+  if (const auto* v = r.find("threads")) {
+    spec.threads = read_size(*v, "threads");
+  }
+  if (const auto* v = r.find("shard")) {
+    ObjectReader s{*v, "'shard'"};
+    spec.shard.index = read_size(s.at("index"), "shard.index");
+    spec.shard.count = read_size(s.at("count"), "shard.count");
+    s.reject_unknown_keys();
+  }
+  if (const auto* v = r.find("params")) params_from_json(spec, *v);
+  r.reject_unknown_keys();
+  validate_common(spec);
+  return spec;
+}
+
+StudySpec StudySpec::from_json_text(std::string_view text) {
+  return from_json(io::Json::parse(text));
+}
+
+void apply_override(io::Json& doc, std::string_view key,
+                    std::string_view value) {
+  if (key.empty()) throw io::JsonError("--set: empty key");
+  // Parse the value as JSON when it is one (numbers, bools, arrays, quoted
+  // strings); otherwise treat it as a bare string, which is what users mean
+  // by e.g. --set case_study=mhc_mlp.
+  io::Json parsed;
+  try {
+    parsed = io::Json::parse(value);
+  } catch (const io::JsonError&) {
+    parsed = io::Json{std::string{value}};
+  }
+  io::Json* node = &doc;
+  std::string_view rest = key;
+  while (true) {
+    const std::size_t dot = rest.find('.');
+    const std::string part{rest.substr(0, dot)};
+    if (part.empty()) {
+      throw io::JsonError("--set: malformed key '" + std::string{key} + "'");
+    }
+    if (dot == std::string_view::npos) {
+      node->set(part, std::move(parsed));
+      return;
+    }
+    if (node->find(part) == nullptr) node->set(part, io::Json::object());
+    node = node->find(part);
+    rest = rest.substr(dot + 1);
+  }
+}
+
+void apply_override(io::Json& doc, std::string_view assignment) {
+  const std::size_t eq = assignment.find('=');
+  if (eq == std::string_view::npos) {
+    throw io::JsonError("--set expects key=value, got '" +
+                        std::string{assignment} + "'");
+  }
+  apply_override(doc, assignment.substr(0, eq), assignment.substr(eq + 1));
+}
+
+}  // namespace varbench::study

@@ -1,0 +1,150 @@
+// Experiments-as-data: a StudySpec is the complete, serializable
+// description of one of the paper's workflows — which study to run, on
+// which case study, at what scale/seed/size — with kind-specific knobs in
+// a typed params block. Specs round-trip losslessly through JSON
+// (`parse(serialize(spec)) == spec`), can be built from the legacy CLI
+// flags, shipped to other processes, and carry an optional `shard i/N`
+// that partitions the repetition index range for multi-process fan-out
+// (docs/study_api.md).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/io/json.h"
+
+namespace varbench::study {
+
+/// The workflows reachable through run_study(). One enumerator per paper
+/// experiment family; `varbench run` dispatches on this.
+enum class StudyKind : int {
+  kVariance,   // §2.2 variance-source decomposition (Fig. 1)
+  kCompare,    // §4/App. C paired comparison with the P(A>B) test
+  kHpo,        // one HOpt run (tuning showcase; sequential)
+  kEstimator,  // §3.2 IdealEst / FixHOptEst sweep (Fig. 5 empirical)
+  kDetection,  // §4.2 detection-rate simulation (Fig. 6)
+};
+
+[[nodiscard]] std::string_view to_string(StudyKind kind);
+/// Throws io::JsonError listing the valid kinds on unknown input.
+[[nodiscard]] StudyKind study_kind_from_string(std::string_view name);
+
+/// A contiguous slice i of N of every repetition index range in the study.
+/// {0, 1} is the unsharded run. Because repetition RNG streams are keyed by
+/// the global repetition index, shard artifacts merge into the exact
+/// unsharded result (docs/study_api.md).
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  [[nodiscard]] bool is_unsharded() const { return count == 1; }
+  [[nodiscard]] std::string label() const {
+    return std::to_string(index) + "/" + std::to_string(count);
+  }
+  /// Parse "i/N"; throws io::JsonError on malformed input or i >= N.
+  [[nodiscard]] static ShardSpec parse(std::string_view text);
+
+  friend bool operator==(const ShardSpec&, const ShardSpec&) = default;
+};
+
+struct VarianceParams {
+  std::vector<std::string> hpo_algorithms{"random_search"};
+  std::size_t hpo_repetitions = 0;  // 0 → max(3, repetitions / 4)
+  std::size_t hpo_budget = 10;
+  bool include_numerical_noise = true;
+
+  friend bool operator==(const VarianceParams&,
+                         const VarianceParams&) = default;
+};
+
+struct CompareParams {
+  double lr_mult = 0.2;    // algorithm B = defaults with learning rate × this
+  double gamma = 0.75;     // meaningfulness threshold of the P(A>B) test
+  std::size_t num_resamples = 1000;  // bootstrap resamples for the CI
+
+  friend bool operator==(const CompareParams&, const CompareParams&) = default;
+};
+
+struct HpoParams {
+  std::string algo = "bayes_opt";
+  std::size_t budget = 20;  // T: number of HOpt trials
+
+  friend bool operator==(const HpoParams&, const HpoParams&) = default;
+};
+
+struct EstimatorParams {
+  // Run order; valid names: "ideal", "fix_init", "fix_data", "fix_all".
+  std::vector<std::string> estimators{"ideal", "fix_init", "fix_data",
+                                      "fix_all"};
+  std::string hpo_algo = "random_search";
+  std::size_t hpo_budget = 10;  // T per HOpt run
+
+  friend bool operator==(const EstimatorParams&,
+                         const EstimatorParams&) = default;
+};
+
+struct DetectionParams {
+  std::string estimator = "biased";  // "ideal" | "biased" (FixHOptEst(k,All))
+  std::size_t k = 50;                // measurements per algorithm per round
+  double gamma = 0.75;
+  std::size_t resamples = 100;  // bootstrap resamples of the P(A>B) criterion
+  std::vector<double> p_grid;   // empty → compare::default_p_grid()
+
+  friend bool operator==(const DetectionParams&,
+                         const DetectionParams&) = default;
+};
+
+/// The experiment description. Common fields first; exactly one params
+/// block is active, selected by `kind` (the others stay at their defaults
+/// and are neither serialized nor parsed).
+struct StudySpec {
+  StudyKind kind = StudyKind::kVariance;
+  std::string case_study;  // registry id, e.g. "cifar10_vgg11"
+  double scale = 0.25;     // data-pool / epoch scale in (0, 1]
+  std::uint64_t seed = 42;
+  /// The shardable repetition count; per-kind meaning: variance →
+  /// repetitions per source, compare → paired runs, hpo → must be 1,
+  /// estimator → k measurements per estimator, detection → simulation
+  /// rounds per grid point.
+  std::size_t repetitions = 20;
+  std::size_t threads = 1;  // 0 = all hardware threads; results invariant
+  ShardSpec shard;
+
+  VarianceParams variance;
+  CompareParams compare;
+  HpoParams hpo;
+  EstimatorParams estimator;
+  DetectionParams detection;
+
+  friend bool operator==(const StudySpec&, const StudySpec&) = default;
+
+  [[nodiscard]] std::size_t resolved_hpo_repetitions() const {
+    return variance.hpo_repetitions != 0
+               ? variance.hpo_repetitions
+               : std::max<std::size_t>(3, repetitions / 4);
+  }
+
+  /// Serialize; `shard` is emitted only when sharded, so the unsharded
+  /// normal form is canonical.
+  [[nodiscard]] io::Json to_json() const;
+  [[nodiscard]] std::string to_json_text() const;  // pretty, '\n'-terminated
+
+  /// Parse + validate. Throws io::JsonError with an actionable message on
+  /// missing/unknown keys, unknown kinds, out-of-range values.
+  [[nodiscard]] static StudySpec from_json(const io::Json& doc);
+  [[nodiscard]] static StudySpec from_json_text(std::string_view text);
+};
+
+/// Apply a `--set key=value` override to a raw spec document before typed
+/// parsing. `key` is a dotted path ("seed", "params.gamma"); `value` is
+/// parsed as JSON when possible (numbers, bools, arrays), else taken as a
+/// string. Intermediate objects are created as needed.
+void apply_override(io::Json& doc, std::string_view key,
+                    std::string_view value);
+/// Split "key=value" and apply; throws io::JsonError when '=' is missing.
+void apply_override(io::Json& doc, std::string_view assignment);
+
+}  // namespace varbench::study

@@ -15,6 +15,9 @@
 //   varbench::core        pipelines, splitters, IdealEst/FixHOptEst, Fig.1 study
 //   varbench::compare     comparison criteria, §4.2 simulators, error rates
 //   varbench::casestudies the five case-study analogues + paper calibrations
+//   varbench::io          dependency-free JSON for specs and artifacts
+//   varbench::study       experiments-as-data: StudySpec, ResultTable,
+//                         run_study dispatch, shard/merge
 #pragma once
 
 #include "src/casestudies/calibration.h"      // IWYU pragma: export
@@ -31,6 +34,7 @@
 #include "src/core/variance_study.h"          // IWYU pragma: export
 #include "src/exec/exec.h"                    // IWYU pragma: export
 #include "src/hpo/bayesopt.h"                 // IWYU pragma: export
+#include "src/io/json.h"                      // IWYU pragma: export
 #include "src/hpo/gp.h"                       // IWYU pragma: export
 #include "src/hpo/hpo.h"                      // IWYU pragma: export
 #include "src/hpo/space.h"                    // IWYU pragma: export
@@ -56,3 +60,6 @@
 #include "src/stats/sample_size.h"            // IWYU pragma: export
 #include "src/stats/shapiro_wilk.h"           // IWYU pragma: export
 #include "src/stats/tests.h"                  // IWYU pragma: export
+#include "src/study/result_table.h"           // IWYU pragma: export
+#include "src/study/study_runner.h"           // IWYU pragma: export
+#include "src/study/study_spec.h"             // IWYU pragma: export

@@ -9,11 +9,13 @@
 #include "src/compare/criteria.h"
 #include "src/compare/error_rates.h"
 #include "src/compare/multiple.h"
+#include "src/core/estimators.h"
 #include "src/core/variance_study.h"
 #include "src/hpo/hpo.h"
 #include "src/ml/synthetic.h"
 #include "src/stats/bootstrap.h"
 #include "src/stats/descriptive.h"
+#include "src/stats/prob_outperform.h"
 
 namespace varbench {
 namespace {
@@ -173,6 +175,97 @@ TEST(ExecDeterminism, RandomSearchParallelMatchesSerialBitwise) {
     // The ξH stream must advance identically too.
     EXPECT_EQ(rng.save_state(), post_serial_state);
   }
+}
+
+TEST(ExecDeterminism, EstimatorsBitIdenticalAcrossThreadCounts) {
+  const auto pool = small_pool();
+  const auto pipeline = small_pipeline();
+  const core::OutOfBootstrapSplitter splitter{90, 40};
+  const hpo::RandomSearch algo;
+  core::HpoRunConfig hpo_cfg;
+  hpo_cfg.algorithm = &algo;
+  hpo_cfg.budget = 2;
+
+  std::vector<core::EstimatorResult> ideal;
+  std::vector<core::EstimatorResult> biased;
+  for (const std::size_t threads : kThreadCounts) {
+    const exec::ExecContext ctx{threads};
+    rngx::Rng m1{21};
+    ideal.push_back(core::ideal_estimator(ctx, pipeline, pool, splitter,
+                                          hpo_cfg, 4, m1));
+    rngx::Rng m2{22};
+    biased.push_back(core::fix_hopt_estimator(ctx, pipeline, pool, splitter,
+                                              hpo_cfg, 4,
+                                              core::RandomizeSubset::kAll,
+                                              m2));
+  }
+  for (std::size_t t = 1; t < ideal.size(); ++t) {
+    EXPECT_EQ(ideal[t].measures, ideal[0].measures)
+        << "ideal_estimator differs at " << kThreadCounts[t] << " threads";
+    EXPECT_EQ(ideal[t].fits, ideal[0].fits);
+    EXPECT_EQ(biased[t].measures, biased[0].measures)
+        << "fix_hopt_estimator differs at " << kThreadCounts[t] << " threads";
+    EXPECT_EQ(biased[t].fits, biased[0].fits);
+  }
+  // The ctx-less overloads are the serial special case of the same
+  // computation.
+  rngx::Rng m1{21};
+  EXPECT_EQ(
+      core::ideal_estimator(pipeline, pool, splitter, hpo_cfg, 4, m1).measures,
+      ideal[0].measures);
+  rngx::Rng m2{22};
+  EXPECT_EQ(core::fix_hopt_estimator(pipeline, pool, splitter, hpo_cfg, 4,
+                                     core::RandomizeSubset::kAll, m2)
+                .measures,
+            biased[0].measures);
+}
+
+TEST(ExecDeterminism, EstimatorShardSlicesMatchFullRun) {
+  const auto pool = small_pool();
+  const auto pipeline = small_pipeline();
+  const core::OutOfBootstrapSplitter splitter{90, 40};
+  const core::HpoRunConfig hpo_cfg;  // defaults only: fast
+  constexpr std::size_t k = 5;
+
+  rngx::Rng full_rng{23};
+  const auto full = core::ideal_estimator(exec::ExecContext::serial(),
+                                          pipeline, pool, splitter, hpo_cfg, k,
+                                          full_rng);
+  std::vector<double> stitched;
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    rngx::Rng rng{23};
+    const auto part = core::ideal_estimator(
+        exec::ExecContext{2}, pipeline, pool, splitter, hpo_cfg, k,
+        exec::shard_subrange(k, shard, 2), rng);
+    stitched.insert(stitched.end(), part.measures.begin(),
+                    part.measures.end());
+  }
+  EXPECT_EQ(stitched, full.measures);
+}
+
+TEST(ExecDeterminism, ProbOutperformTestBitIdenticalAcrossThreadCounts) {
+  std::vector<double> a(40);
+  std::vector<double> b(40);
+  rngx::Rng data_rng{24};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = data_rng.normal(0.75, 0.02);
+    b[i] = a[i] - data_rng.normal(0.01, 0.01);
+  }
+  std::vector<stats::ProbOutperformResult> results;
+  for (const std::size_t threads : kThreadCounts) {
+    rngx::Rng rng{25};
+    results.push_back(stats::test_probability_of_outperforming(
+        exec::ExecContext{threads}, a, b, rng, 0.75, 500));
+  }
+  for (std::size_t t = 1; t < results.size(); ++t) {
+    EXPECT_EQ(results[t].p_a_greater_b, results[0].p_a_greater_b);
+    EXPECT_EQ(results[t].ci, results[0].ci);
+    EXPECT_EQ(results[t].conclusion, results[0].conclusion);
+  }
+  rngx::Rng rng{25};
+  const auto legacy =
+      stats::test_probability_of_outperforming(a, b, rng, 0.75, 500);
+  EXPECT_EQ(legacy.ci, results[0].ci);
 }
 
 TEST(ExecDeterminism, RankingStabilityBitIdenticalAcrossThreadCounts) {

@@ -1,0 +1,152 @@
+// The shard/merge contract: for every shardable study kind, running the
+// spec in N shards and merging the shard artifacts is BIT-identical to the
+// unsharded run at the same seed — including across different thread
+// counts per shard — because repetition RNG streams are keyed by the
+// global repetition index (docs/study_api.md).
+#include <gtest/gtest.h>
+
+#include "src/study/result_table.h"
+#include "src/study/study_runner.h"
+#include "src/study/study_spec.h"
+
+namespace varbench::study {
+namespace {
+
+StudySpec tiny_spec(StudyKind kind) {
+  StudySpec spec;
+  spec.kind = kind;
+  spec.case_study = "cifar10_vgg11";
+  spec.scale = 0.08;
+  spec.seed = 20260727;
+  switch (kind) {
+    case StudyKind::kVariance:
+      spec.repetitions = 5;
+      spec.variance.hpo_algorithms = {"random_search"};
+      spec.variance.hpo_repetitions = 3;
+      spec.variance.hpo_budget = 2;
+      break;
+    case StudyKind::kCompare:
+      spec.repetitions = 5;
+      spec.compare.num_resamples = 50;
+      break;
+    case StudyKind::kEstimator:
+      spec.repetitions = 4;
+      spec.estimator.estimators = {"ideal", "fix_all"};
+      spec.estimator.hpo_budget = 2;
+      break;
+    case StudyKind::kDetection:
+      spec.repetitions = 4;
+      spec.detection.k = 10;
+      spec.detection.resamples = 20;
+      spec.detection.p_grid = {0.5, 0.9};
+      break;
+    case StudyKind::kHpo:
+      spec.repetitions = 1;
+      spec.hpo.budget = 3;
+      break;
+  }
+  return spec;
+}
+
+void expect_shards_merge_to_unsharded(StudyKind kind,
+                                      std::size_t shard_count) {
+  const StudySpec spec = tiny_spec(kind);
+  const ResultTable unsharded = run_study(spec);
+  ASSERT_TRUE(unsharded.is_complete());
+
+  std::vector<ResultTable> shards;
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    StudySpec shard_spec = spec;
+    shard_spec.shard = ShardSpec{i, shard_count};
+    // Vary the thread count per shard: results must not depend on it.
+    shard_spec.threads = 1 + i;
+    shards.push_back(run_study(shard_spec));
+    EXPECT_FALSE(shards.back().is_complete());
+  }
+  const ResultTable merged = merge_result_tables(std::move(shards));
+  EXPECT_EQ(merged.canonical_text(), unsharded.canonical_text())
+      << to_string(kind) << " " << shard_count << "-shard merge diverged";
+  EXPECT_EQ(merged.rows.size(), unsharded.rows.size());
+}
+
+TEST(StudyShard, VarianceTwoAndThreeShards) {
+  expect_shards_merge_to_unsharded(StudyKind::kVariance, 2);
+  expect_shards_merge_to_unsharded(StudyKind::kVariance, 3);
+}
+
+TEST(StudyShard, CompareTwoAndThreeShards) {
+  expect_shards_merge_to_unsharded(StudyKind::kCompare, 2);
+  expect_shards_merge_to_unsharded(StudyKind::kCompare, 3);
+}
+
+TEST(StudyShard, EstimatorTwoAndThreeShards) {
+  expect_shards_merge_to_unsharded(StudyKind::kEstimator, 2);
+  expect_shards_merge_to_unsharded(StudyKind::kEstimator, 3);
+}
+
+TEST(StudyShard, DetectionTwoAndThreeShards) {
+  expect_shards_merge_to_unsharded(StudyKind::kDetection, 2);
+  expect_shards_merge_to_unsharded(StudyKind::kDetection, 3);
+}
+
+TEST(StudyShard, ShardCountLargerThanRepetitions) {
+  // More shards than repetitions: some slices are empty — including every
+  // variance group and the estimator k-loops — and the merge is still
+  // exact (empty slices must not crash the group statistics).
+  expect_shards_merge_to_unsharded(StudyKind::kCompare, 7);
+  expect_shards_merge_to_unsharded(StudyKind::kVariance, 7);
+  expect_shards_merge_to_unsharded(StudyKind::kEstimator, 7);
+}
+
+TEST(StudyShard, ArtifactsSurviveSerialization) {
+  // Merge after a JSON round-trip of each shard — the cross-process path.
+  const StudySpec spec = tiny_spec(StudyKind::kCompare);
+  const ResultTable unsharded = run_study(spec);
+  std::vector<ResultTable> shards;
+  for (std::size_t i = 0; i < 2; ++i) {
+    StudySpec shard_spec = spec;
+    shard_spec.shard = ShardSpec{i, 2};
+    const ResultTable t = run_study(shard_spec);
+    shards.push_back(ResultTable::from_json_text(t.to_json_text()));
+    EXPECT_EQ(shards.back(), t);
+  }
+  const ResultTable merged = merge_result_tables(std::move(shards));
+  EXPECT_EQ(merged.canonical_text(), unsharded.canonical_text());
+}
+
+TEST(StudyShard, HpoRejectsSharding) {
+  StudySpec spec = tiny_spec(StudyKind::kHpo);
+  spec.shard = ShardSpec{0, 2};
+  EXPECT_THROW((void)run_study(spec), std::invalid_argument);
+}
+
+TEST(StudyShard, MergeRejectsBadShardSets) {
+  const StudySpec spec = tiny_spec(StudyKind::kCompare);
+  StudySpec s0 = spec;
+  s0.shard = ShardSpec{0, 2};
+  StudySpec s1 = spec;
+  s1.shard = ShardSpec{1, 2};
+
+  const ResultTable t0 = run_study(s0);
+  const ResultTable t1 = run_study(s1);
+
+  // Missing shard.
+  EXPECT_THROW((void)merge_result_tables({t0}), io::JsonError);
+  // Duplicated shard.
+  EXPECT_THROW((void)merge_result_tables({t0, t0}), io::JsonError);
+  // Mixed studies (different seed).
+  StudySpec other = spec;
+  other.seed += 1;
+  other.shard = ShardSpec{1, 2};
+  EXPECT_THROW((void)merge_result_tables({t0, run_study(other)}),
+               io::JsonError);
+}
+
+TEST(StudyShard, MergeOfUnshardedTableIsIdentity) {
+  const ResultTable t = run_study(tiny_spec(StudyKind::kCompare));
+  const ResultTable merged = merge_result_tables({t});
+  EXPECT_EQ(merged.canonical_text(), t.canonical_text());
+}
+
+}  // namespace
+}  // namespace varbench::study

@@ -1,75 +1,271 @@
-// varbench — unified command-line front-end.
+// varbench — unified command-line front-end, spec-driven.
+//
+// The primary interface is experiments-as-data (docs/study_api.md):
+//
+//   varbench run   <spec.json> [--set key=val ...] [--shard i/N]
+//                  [--threads N] [--out out.json] [--csv out.csv]
+//                  [--canonical]
+//   varbench merge <shard1.json> <shard2.json> ... [--out merged.json]
+//                  [--csv merged.csv]
+//
+// `run` executes a serialized StudySpec and writes the canonical
+// ResultTable artifact; `--shard i/N` computes slice i of N (bit-identical
+// to the same slice of the unsharded run; merging all N slices with
+// `merge` reproduces the unsharded artifact exactly).
+//
+// The legacy subcommands are thin spec builders over the same engine and
+// print the same numbers they always did:
 //
 //   varbench tasks                         list registered case studies
 //   varbench plan   [--gamma G] [--alpha A] [--beta B]
-//   varbench study  <task> [--reps N] [--scale S]
-//   varbench compare <task> [--runs N] [--scale S] [--lr-mult M] [--gamma G]
-//   varbench hpo    <task> [--algo NAME] [--budget T] [--scale S]
+//   varbench study  <task> [--reps N] [--scale S] ...
+//   varbench compare <task> [--runs N] [--lr-mult M] ...
+//   varbench hpo    <task> [--algo NAME] [--budget T] ...
 //   varbench audit  <task> [--scale S]
 //
-// Each subcommand wraps one of the paper's workflows; see README.md.
+// study/compare/hpo accept --out/--csv (write the artifact) and
+// --dump-spec FILE (write the equivalent spec and exit without running).
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
+#include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "src/io/json.h"
+#include "src/study/result_table.h"
+#include "src/study/study_runner.h"
+#include "src/study/study_spec.h"
 #include "src/varbench.h"
 
 namespace {
 
 using namespace varbench;
 
+// ------------------------------------------------------------ arguments
+
 struct Args {
   std::vector<std::string> positional;
-  std::map<std::string, std::string> options;
+  // In command-line order; repeated flags (--set) keep every occurrence.
+  std::vector<std::pair<std::string, std::string>> options;
+
+  [[nodiscard]] const std::string* find(const std::string& key) const {
+    const std::string* last = nullptr;
+    for (const auto& [k, v] : options) {
+      if (k == key) last = &v;
+    }
+    return last;
+  }
+
+  [[nodiscard]] std::vector<std::string> all(const std::string& key) const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : options) {
+      if (k == key) out.push_back(v);
+    }
+    return out;
+  }
 };
 
+/// Flags that never consume the following token as a value.
+const std::set<std::string>& boolean_flags() {
+  static const std::set<std::string> flags{"canonical", "help"};
+  return flags;
+}
+
+/// `--key value`, `--key=value`, and bare boolean `--key`. A following
+/// token is a value unless it is itself a long flag (starts with "--"), so
+/// negative numbers (`--lr-mult -0.5`) parse as values.
 Args parse(int argc, char** argv, int from) {
   Args a;
   for (int i = from; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--", 0) == 0) {
-      const std::string key = arg.substr(2);
-      if (i + 1 < argc && argv[i + 1][0] != '-') {
-        a.options[key] = argv[++i];
-      } else {
-        a.options[key] = "1";
-      }
-    } else {
+    if (arg.rfind("--", 0) != 0) {
       a.positional.push_back(arg);
+      continue;
     }
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      a.options.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      continue;
+    }
+    const std::string key = arg.substr(2);
+    const bool has_value = i + 1 < argc &&
+                           std::strncmp(argv[i + 1], "--", 2) != 0 &&
+                           boolean_flags().count(key) == 0;
+    a.options.emplace_back(key, has_value ? argv[++i] : "1");
   }
   return a;
 }
 
+/// Reject typo'd flags loudly: a misspelled --shard must not silently run
+/// the full unsharded study (mirrors the spec layer's unknown-key errors).
+void require_known_flags(const Args& a,
+                         std::initializer_list<std::string_view> known) {
+  for (const auto& [key, value] : a.options) {
+    bool ok = false;
+    for (const std::string_view k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      std::string list;
+      for (const std::string_view k : known) {
+        if (!list.empty()) list += ", ";
+        list += "--" + std::string{k};
+      }
+      throw std::invalid_argument(
+          "unknown flag '--" + key + "'" +
+          (list.empty() ? " (this subcommand takes no flags)"
+                        : " (known flags: " + list + ")"));
+    }
+  }
+}
+
+[[noreturn]] void bad_option(const std::string& key, const std::string& value,
+                             const char* wanted) {
+  throw std::invalid_argument("--" + key + " expects " + wanted + ", got '" +
+                              value + "'");
+}
+
 double opt_double(const Args& a, const std::string& key, double fallback) {
-  const auto it = a.options.find(key);
-  return it == a.options.end() ? fallback : std::atof(it->second.c_str());
+  const std::string* v = a.find(key);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (v->empty() || end != v->c_str() + v->size() || errno == ERANGE) {
+    bad_option(key, *v, "a number");
+  }
+  return parsed;
 }
 
 std::size_t opt_size(const Args& a, const std::string& key,
                      std::size_t fallback) {
-  const auto it = a.options.find(key);
-  return it == a.options.end()
-             ? fallback
-             : static_cast<std::size_t>(std::atol(it->second.c_str()));
+  const std::string* v = a.find(key);
+  if (v == nullptr) return fallback;
+  if (v->find('-') != std::string::npos) {
+    bad_option(key, *v, "a non-negative integer");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
+  if (v->empty() || end != v->c_str() + v->size() || errno == ERANGE) {
+    bad_option(key, *v, "a non-negative integer");
+  }
+  return static_cast<std::size_t>(parsed);
 }
 
 std::string opt_string(const Args& a, const std::string& key,
                        const std::string& fallback) {
-  const auto it = a.options.find(key);
-  return it == a.options.end() ? fallback : it->second;
+  const std::string* v = a.find(key);
+  return v == nullptr ? fallback : *v;
 }
 
-// --threads N: worker count for the Monte-Carlo hot paths (0 = all hardware
-// threads, default 1 = serial). Results are identical for every value.
-exec::ExecContext opt_exec(const Args& a) {
-  return exec::ExecContext{opt_size(a, "threads", 1)};
+bool opt_flag(const Args& a, const std::string& key) {
+  return a.find(key) != nullptr;
 }
 
-int cmd_tasks() {
+// ------------------------------------------------------------- artifacts
+
+/// Write the artifact/CSV files requested by --out/--csv and print the
+/// summary. Returns 0.
+int finish_study(const study::ResultTable& table, const Args& a) {
+  const bool canonical = opt_flag(a, "canonical");
+  if (const std::string* out = a.find("out")) {
+    io::write_file(*out,
+                   table.to_json_text(/*include_provenance=*/!canonical));
+    std::fprintf(stderr, "wrote %s\n", out->c_str());
+  }
+  if (const std::string* csv = a.find("csv")) {
+    io::write_file(*csv, table.to_csv());
+    std::fprintf(stderr, "wrote %s\n", csv->c_str());
+  }
+  study::print_summary(table, stdout);
+  return 0;
+}
+
+/// Shared tail of the legacy spec-builder subcommands: honour --dump-spec
+/// (write the spec, don't run), otherwise run and emit artifacts/summary.
+int run_built_spec(study::StudySpec spec, const Args& a) {
+  if (const std::string* path = a.find("dump-spec")) {
+    const std::string text = spec.to_json_text();
+    if (*path == "-") {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      io::write_file(*path, text);
+      std::fprintf(stderr, "wrote %s\n", path->c_str());
+    }
+    return 0;
+  }
+  if (const std::string* shard = a.find("shard")) {
+    spec.shard = study::ShardSpec::parse(*shard);
+  }
+  return finish_study(study::run_study(spec), a);
+}
+
+// ------------------------------------------------------- spec subcommands
+
+int cmd_run(const Args& a) {
+  require_known_flags(
+      a, {"set", "shard", "threads", "out", "csv", "canonical"});
+  if (a.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: varbench run <spec.json> [--set key=val ...] "
+                 "[--shard i/N] [--threads N] [--out out.json] "
+                 "[--csv out.csv] [--canonical]\n");
+    return 2;
+  }
+  io::Json doc = io::Json::parse(io::read_file(a.positional[0]));
+  for (const std::string& assignment : a.all("set")) {
+    study::apply_override(doc, assignment);
+  }
+  if (const std::string* threads = a.find("threads")) {
+    study::apply_override(doc, "threads", *threads);
+  }
+  if (const std::string* shard = a.find("shard")) {
+    const auto s = study::ShardSpec::parse(*shard);
+    study::apply_override(doc, "shard.index", std::to_string(s.index));
+    study::apply_override(doc, "shard.count", std::to_string(s.count));
+  }
+  const auto spec = study::StudySpec::from_json(doc);
+  return finish_study(study::run_study(spec), a);
+}
+
+int cmd_merge(const Args& a) {
+  require_known_flags(a, {"out", "csv"});
+  if (a.positional.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: varbench merge <shard1.json> <shard2.json> ... "
+                 "[--out merged.json] [--csv merged.csv]\n");
+    return 2;
+  }
+  std::vector<study::ResultTable> shards;
+  for (const auto& path : a.positional) {
+    shards.push_back(study::ResultTable::from_json_text(io::read_file(path)));
+  }
+  const auto merged = study::merge_result_tables(std::move(shards));
+  // A merged artifact has no single producing process; it is always
+  // written in canonical (identity-only) form.
+  if (const std::string* out = a.find("out")) {
+    io::write_file(*out, merged.canonical_text());
+    std::fprintf(stderr, "wrote %s\n", out->c_str());
+  }
+  if (const std::string* csv = a.find("csv")) {
+    io::write_file(*csv, merged.to_csv());
+    std::fprintf(stderr, "wrote %s\n", csv->c_str());
+  }
+  study::print_summary(merged, stdout);
+  return 0;
+}
+
+// ----------------------------------------------------- legacy subcommands
+
+int cmd_tasks(const Args& a) {
+  require_known_flags(a, {});
   std::printf("registered case studies:\n");
   for (const auto& id : casestudies::case_study_ids()) {
     const auto& c = casestudies::calibration_for(id);
@@ -80,6 +276,7 @@ int cmd_tasks() {
 }
 
 int cmd_plan(const Args& a) {
+  require_known_flags(a, {"gamma", "alpha", "beta"});
   const double gamma = opt_double(a, "gamma", 0.75);
   const double alpha = opt_double(a, "alpha", 0.05);
   const double beta = opt_double(a, "beta", 0.05);
@@ -92,115 +289,78 @@ int cmd_plan(const Args& a) {
 }
 
 int cmd_study(const Args& a) {
+  require_known_flags(a, {"reps", "scale", "budget", "seed", "threads", "shard",
+                          "out", "csv", "canonical", "dump-spec"});
   if (a.positional.empty()) {
-    std::fprintf(stderr, "usage: varbench study <task> [--reps N] [--scale S]\n");
+    std::fprintf(stderr,
+                 "usage: varbench study <task> [--reps N] [--scale S] "
+                 "[--budget T] [--seed S] [--threads N] "
+                 "[--out f.json] [--dump-spec f.json]\n");
     return 2;
   }
-  const auto cs = casestudies::make_case_study(a.positional[0],
-                                               opt_double(a, "scale", 0.25));
-  core::VarianceStudyConfig cfg;
-  cfg.repetitions = opt_size(a, "reps", 20);
-  cfg.hpo_algorithms = {"random_search"};
-  cfg.hpo_repetitions = std::max<std::size_t>(3, cfg.repetitions / 4);
-  cfg.hpo_budget = opt_size(a, "budget", 10);
-  cfg.exec = opt_exec(a);
-  rngx::Rng master{opt_size(a, "seed", 42)};
-  const auto study = core::run_variance_study(*cs.pipeline, *cs.pool,
-                                              *cs.splitter, cfg, master);
-  const double boot = study.bootstrap_std();
-  std::printf("%-22s %10s %10s %14s\n", "source", "mean", "std",
-              "std/bootstrap");
-  for (const auto& row : study.rows) {
-    std::printf("%-22s %10.4f %10.4f %14.2f\n", row.label.c_str(), row.mean,
-                row.stddev, boot > 0.0 ? row.stddev / boot : 0.0);
-  }
-  return 0;
+  study::StudySpec spec;
+  spec.kind = study::StudyKind::kVariance;
+  spec.case_study = a.positional[0];
+  spec.scale = opt_double(a, "scale", 0.25);
+  spec.seed = opt_size(a, "seed", 42);
+  spec.repetitions = opt_size(a, "reps", 20);
+  spec.threads = opt_size(a, "threads", 1);
+  spec.variance.hpo_budget = opt_size(a, "budget", 10);
+  return run_built_spec(std::move(spec), a);
 }
 
 int cmd_compare(const Args& a) {
+  require_known_flags(a, {"runs", "scale", "lr-mult", "gamma", "seed",
+                          "threads", "shard", "out", "csv", "canonical",
+                          "dump-spec"});
   if (a.positional.empty()) {
     std::fprintf(stderr,
                  "usage: varbench compare <task> [--runs N] [--scale S] "
-                 "[--lr-mult M] [--gamma G]\n");
+                 "[--lr-mult M] [--gamma G] [--seed S] [--threads N] "
+                 "[--out f.json] [--dump-spec f.json]\n");
     return 2;
   }
-  const auto cs = casestudies::make_case_study(a.positional[0],
-                                               opt_double(a, "scale", 0.25));
-  const double gamma = opt_double(a, "gamma", 0.75);
-  const std::size_t runs =
-      opt_size(a, "runs", stats::noether_sample_size(gamma, 0.05, 0.2));
-  const double mult = opt_double(a, "lr-mult", 0.2);
-
-  auto params_a = cs.pipeline->default_params();
-  auto params_b = params_a;
-  if (params_b.count("learning_rate") != 0) {
-    params_b["learning_rate"] *= mult;
-  } else if (params_b.count("weight_decay") != 0) {
-    params_b["weight_decay"] = std::min(1.0, params_b["weight_decay"] * 100.0);
+  study::StudySpec spec;
+  spec.kind = study::StudyKind::kCompare;
+  spec.case_study = a.positional[0];
+  spec.scale = opt_double(a, "scale", 0.25);
+  spec.seed = opt_size(a, "seed", 42);
+  spec.threads = opt_size(a, "threads", 1);
+  spec.compare.gamma = opt_double(a, "gamma", 0.75);
+  spec.compare.lr_mult = opt_double(a, "lr-mult", 0.2);
+  spec.repetitions = opt_size(
+      a, "runs", stats::noether_sample_size(spec.compare.gamma, 0.05, 0.2));
+  if (a.find("dump-spec") == nullptr) {
+    std::printf("A = defaults; B = defaults with lr x %.2f; %zu paired runs\n",
+                spec.compare.lr_mult, spec.repetitions);
   }
-  std::printf("A = defaults; B = defaults with lr x %.2f; %zu paired runs\n",
-              mult, runs);
-  rngx::Rng master{opt_size(a, "seed", 42)};
-  // Paired runs are independent given per-run streams; fan them out.
-  struct PairedMeasure {
-    double a = 0.0;
-    double b = 0.0;
-  };
-  const auto measures = exec::parallel_replicate<PairedMeasure>(
-      opt_exec(a), runs, master, "compare",
-      [&](std::size_t, rngx::Rng& run_rng) {
-        const auto seeds = rngx::VariationSeeds::random(run_rng);
-        return PairedMeasure{
-            core::measure_with_params(*cs.pipeline, *cs.pool, *cs.splitter,
-                                      params_a, seeds),
-            core::measure_with_params(*cs.pipeline, *cs.pool, *cs.splitter,
-                                      params_b, seeds)};
-      });
-  std::vector<double> pa;
-  std::vector<double> pb;
-  for (const auto& m : measures) {
-    pa.push_back(m.a);
-    pb.push_back(m.b);
-  }
-  auto rng = master.split("test");
-  const auto r = stats::test_probability_of_outperforming(pa, pb, rng, gamma);
-  std::printf("mean A = %.4f, mean B = %.4f\n", stats::mean(pa),
-              stats::mean(pb));
-  std::printf("P(A>B) = %.3f, CI [%.3f, %.3f], gamma = %.2f\n",
-              r.p_a_greater_b, r.ci.lower, r.ci.upper, gamma);
-  std::printf("conclusion: %s\n",
-              std::string(stats::to_string(r.conclusion)).c_str());
-  return 0;
+  return run_built_spec(std::move(spec), a);
 }
 
 int cmd_hpo(const Args& a) {
+  require_known_flags(a, {"algo", "budget", "scale", "seed", "threads",
+                          "shard", "out", "csv", "canonical", "dump-spec"});
   if (a.positional.empty()) {
     std::fprintf(stderr,
                  "usage: varbench hpo <task> [--algo NAME] [--budget T] "
-                 "[--scale S]\n");
+                 "[--scale S] [--seed S] [--threads N] "
+                 "[--out f.json] [--dump-spec f.json]\n");
     return 2;
   }
-  const auto cs = casestudies::make_case_study(a.positional[0],
-                                               opt_double(a, "scale", 0.25));
-  const auto algo =
-      hpo::make_hpo_algorithm(opt_string(a, "algo", "bayes_opt"));
-  core::HpoRunConfig cfg;
-  cfg.algorithm = algo.get();
-  cfg.budget = opt_size(a, "budget", 20);
-  cfg.exec = opt_exec(a);
-  rngx::VariationSeeds seeds;
-  seeds.hpo = opt_size(a, "seed", 42);
-  core::FitCounter fits;
-  const double perf = core::run_pipeline_once(*cs.pipeline, *cs.pool,
-                                              *cs.splitter, cfg, seeds, &fits);
-  std::printf("%s on %s: final test %s = %.4f (%zu fits)\n",
-              std::string(algo->name()).c_str(), a.positional[0].c_str(),
-              std::string(ml::to_string(cs.pipeline->metric())).c_str(), perf,
-              fits.fits.load());
-  return 0;
+  study::StudySpec spec;
+  spec.kind = study::StudyKind::kHpo;
+  spec.case_study = a.positional[0];
+  spec.scale = opt_double(a, "scale", 0.25);
+  spec.seed = opt_size(a, "seed", 42);
+  spec.threads = opt_size(a, "threads", 1);
+  spec.repetitions = 1;
+  spec.hpo.algo = opt_string(a, "algo", "bayes_opt");
+  spec.hpo.budget = opt_size(a, "budget", 20);
+  return run_built_spec(std::move(spec), a);
 }
 
 int cmd_audit(const Args& a) {
+  require_known_flags(a, {"scale"});
   if (a.positional.empty()) {
     std::fprintf(stderr, "usage: varbench audit <task> [--scale S]\n");
     return 2;
@@ -225,15 +385,22 @@ int cmd_audit(const Args& a) {
 void usage() {
   std::printf(
       "varbench — variance-aware ML benchmarking (MLSys 2021 reproduction)\n"
-      "subcommands:\n"
+      "spec-driven interface (docs/study_api.md):\n"
+      "  run     <spec.json> [--set key=val ...] [--shard i/N] [--threads N]\n"
+      "          [--out out.json] [--csv out.csv] [--canonical]\n"
+      "  merge   <shard1.json> <shard2.json> ... [--out merged.json]\n"
+      "          [--csv merged.csv]\n"
+      "legacy spec builders (same numbers as always; add --dump-spec f.json\n"
+      "to write the equivalent spec instead of running):\n"
       "  tasks                       list case studies\n"
       "  plan    [--gamma --alpha --beta]\n"
       "  study   <task> [--reps --scale --budget --seed --threads]\n"
       "  compare <task> [--runs --scale --lr-mult --gamma --seed --threads]\n"
       "  hpo     <task> [--algo --budget --scale --seed --threads]\n"
       "  audit   <task> [--scale]\n"
-      "--threads N runs the Monte-Carlo loops on N threads (0 = all cores);\n"
-      "results are bit-identical for every N (see docs/determinism.md).\n");
+      "--threads N runs the Monte-Carlo loops on N threads (0 = all cores)\n"
+      "and --shard i/N computes slice i of N; results are bit-identical for\n"
+      "every N and any shard/merge split (docs/determinism.md).\n");
 }
 
 }  // namespace
@@ -246,7 +413,9 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args = parse(argc, argv, 2);
   try {
-    if (cmd == "tasks") return cmd_tasks();
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "merge") return cmd_merge(args);
+    if (cmd == "tasks") return cmd_tasks(args);
     if (cmd == "plan") return cmd_plan(args);
     if (cmd == "study") return cmd_study(args);
     if (cmd == "compare") return cmd_compare(args);
