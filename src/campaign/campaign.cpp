@@ -1,0 +1,543 @@
+#include "src/campaign/campaign.h"
+
+#include <cstdarg>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+
+#include "src/campaign/subprocess.h"
+#include "src/campaign/work_queue.h"
+#include "src/io/json.h"
+#include "src/study/result_table.h"
+#include "src/study/study_runner.h"
+
+namespace varbench::campaign {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kManifestSchema = "varbench.campaign.v1";
+
+void event(const CampaignConfig& cfg, const char* fmt, ...) {
+  if (cfg.events == nullptr) return;
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(cfg.events, fmt, args);
+  va_end(args);
+  std::fputc('\n', cfg.events);
+  std::fflush(cfg.events);
+}
+
+struct TaskState {
+  CampaignTask task;
+  enum class Status { kPending, kDone, kFailed } status = Status::kPending;
+  std::size_t attempts = 0;
+  bool completed_this_run = false;
+};
+
+std::string_view to_string(TaskState::Status s) {
+  switch (s) {
+    case TaskState::Status::kPending:
+      return "pending";
+    case TaskState::Status::kDone:
+      return "done";
+    case TaskState::Status::kFailed:
+      return "failed";
+  }
+  return "pending";
+}
+
+// ------------------------------------------------------------- manifest
+
+void write_manifest(const WorkQueue& queue, const CampaignConfig& cfg,
+                    const std::vector<study::StudySpec>& studies,
+                    const std::vector<TaskState>& states) {
+  io::Json doc = io::Json::object();
+  doc.set("schema", io::Json{kManifestSchema});
+  doc.set("shards", io::Json{cfg.shards});
+  doc.set("max_retries", io::Json{cfg.max_retries});
+  io::Json specs = io::Json::array();
+  for (const auto& s : studies) specs.push_back(s.to_json());
+  doc.set("studies", std::move(specs));
+  io::Json tasks = io::Json::array();
+  for (const auto& st : states) {
+    io::Json t = io::Json::object();
+    t.set("id", io::Json{st.task.id});
+    t.set("study", io::Json{st.task.study_index});
+    t.set("shard", io::Json{st.task.spec.shard.label()});
+    t.set("status", io::Json{to_string(st.status)});
+    t.set("attempts", io::Json{st.attempts});
+    tasks.push_back(std::move(t));
+  }
+  doc.set("tasks", std::move(tasks));
+  WorkQueue::atomic_write(queue.manifest_path(), doc.dump(2) + "\n");
+}
+
+/// An existing manifest must describe this exact campaign — resuming with a
+/// different spec list or shard count would mix incompatible artifacts.
+void validate_manifest(const std::string& path,
+                       const std::vector<study::StudySpec>& studies,
+                       std::size_t shards) {
+  const io::Json doc = io::Json::parse(io::read_file(path));
+  const std::string& schema = doc.at("schema").as_string();
+  if (schema != kManifestSchema) {
+    throw io::JsonError("campaign: unsupported manifest schema '" + schema +
+                        "' in '" + path + "' (this build writes '" +
+                        std::string{kManifestSchema} + "')");
+  }
+  const auto manifest_shards =
+      static_cast<std::size_t>(doc.at("shards").as_uint64());
+  if (manifest_shards != shards) {
+    throw io::JsonError(
+        "campaign: state dir was initialized with --shards " +
+        std::to_string(manifest_shards) + " but this invocation asks for " +
+        std::to_string(shards) + " — shard counts cannot change mid-campaign");
+  }
+  const auto& manifest_studies = doc.at("studies").as_array();
+  if (manifest_studies.size() != studies.size()) {
+    throw io::JsonError("campaign: state dir holds " +
+                        std::to_string(manifest_studies.size()) +
+                        " studies but the spec file lists " +
+                        std::to_string(studies.size()) +
+                        " — resume with the original spec file");
+  }
+  for (std::size_t k = 0; k < studies.size(); ++k) {
+    if (study::StudySpec::from_json(manifest_studies[k]) != studies[k]) {
+      throw io::JsonError(
+          "campaign: study " + std::to_string(k) +
+          " differs from the one this state dir was initialized with — "
+          "resume with the original spec file or use a fresh --dir");
+    }
+  }
+}
+
+// ------------------------------------------------------------ validation
+
+/// Empty string when the artifact at `path` is exactly `task`'s shard of
+/// `task`'s study; an actionable reason otherwise.
+std::string validate_artifact(const std::string& path,
+                              const CampaignTask& task) {
+  study::ResultTable table;
+  try {
+    table = study::ResultTable::from_json_text(io::read_file(path));
+  } catch (const std::exception& e) {
+    return std::string{"unreadable artifact: "} + e.what();
+  }
+  if (table.shard != task.spec.shard) {
+    return "artifact holds shard " + table.shard.label() +
+           " but the task is shard " + task.spec.shard.label() +
+           " (duplicate or misplaced shard artifact)";
+  }
+  study::StudySpec expected = task.spec;  // execution-normal form
+  expected.shard = study::ShardSpec{};
+  expected.threads = 1;
+  if (!table.spec.has_value() || !(*table.spec == expected) ||
+      table.seed != task.spec.seed) {
+    return "artifact was produced by a different study spec (seed/params "
+           "mismatch)";
+  }
+  return {};
+}
+
+/// merged/s<k>-<kind>-<case>.json — predictable without loading artifacts.
+std::string merged_output_path(const WorkQueue& queue, std::size_t study_index,
+                               const study::StudySpec& spec) {
+  return (fs::path{queue.merged_dir()} /
+          ("s" + std::to_string(study_index) + "-" +
+           std::string{study::to_string(spec.kind)} + "-" + spec.case_study +
+           ".json"))
+      .string();
+}
+
+class CompletedHandle : public WorkerHandle {
+ public:
+  explicit CompletedHandle(int code) : code_{code} {}
+  bool running() override { return false; }
+  int exit_code() override { return code_; }
+
+ private:
+  int code_;
+};
+
+}  // namespace
+
+// ----------------------------------------------------------------- plan
+
+std::vector<CampaignTask> plan_tasks(
+    const std::vector<study::StudySpec>& studies, std::size_t shards) {
+  if (studies.empty()) {
+    throw std::invalid_argument("campaign: no studies to run");
+  }
+  if (shards == 0) {
+    throw std::invalid_argument("campaign: --shards must be >= 1");
+  }
+  std::vector<CampaignTask> tasks;
+  for (std::size_t k = 0; k < studies.size(); ++k) {
+    // One HOpt run is inherently sequential (study_runner rejects sharding
+    // for it) — an hpo study is a single task regardless of --shards.
+    const std::size_t n =
+        studies[k].kind == study::StudyKind::kHpo ? 1 : shards;
+    for (std::size_t i = 0; i < n; ++i) {
+      CampaignTask t;
+      t.study_index = k;
+      t.spec = studies[k];
+      t.spec.shard = study::ShardSpec{i, n};
+      t.id = "s" + std::to_string(k) + "-" + std::to_string(i) + "of" +
+             std::to_string(n);
+      tasks.push_back(std::move(t));
+    }
+  }
+  return tasks;
+}
+
+// ------------------------------------------------------------ coordinator
+
+CampaignReport run_campaign(const CampaignConfig& cfg,
+                            const std::vector<study::StudySpec>& studies,
+                            const WorkerLauncher& launcher) {
+  if (cfg.workers == 0) {
+    throw std::invalid_argument("campaign: --workers must be >= 1");
+  }
+  if (cfg.dir.empty()) {
+    throw std::invalid_argument("campaign: state directory must be given");
+  }
+  WorkQueue queue{cfg.dir};
+  auto tasks = plan_tasks(studies, cfg.shards);
+
+  CampaignReport report;
+  report.tasks = tasks.size();
+
+  const bool have_manifest = fs::exists(queue.manifest_path());
+  if (have_manifest && !cfg.resume) {
+    throw io::JsonError(
+        "campaign: '" + cfg.dir + "' already holds a campaign — pass "
+        "--resume to finish its gaps, or point --dir at a fresh directory");
+  }
+  if (have_manifest) validate_manifest(queue.manifest_path(), studies,
+                                       cfg.shards);
+
+  std::vector<TaskState> states;
+  states.reserve(tasks.size());
+  for (auto& t : tasks) states.push_back(TaskState{std::move(t)});
+
+  const std::string owner =
+      "coordinator-" + std::to_string(current_process_id());
+
+  // Initialization doubles as gap analysis on resume: a task with a valid
+  // artifact is done, everything else (re)enters the queue.
+  for (auto& st : states) {
+    const std::string& id = st.task.id;
+    if (!fs::exists(queue.spec_path(id))) {
+      WorkQueue::atomic_write(queue.spec_path(id), st.task.spec.to_json_text());
+    }
+    if (fs::exists(queue.artifact_path(id))) {
+      const std::string err = validate_artifact(queue.artifact_path(id),
+                                                st.task);
+      if (err.empty()) {
+        st.status = TaskState::Status::kDone;
+        ++report.reused;
+        event(cfg, "task %s: reusing existing artifact", id.c_str());
+      } else {
+        std::error_code ec;
+        fs::remove(queue.artifact_path(id), ec);
+        event(cfg, "task %s: discarding invalid artifact (%s)", id.c_str(),
+              err.c_str());
+      }
+    }
+    if (st.status == TaskState::Status::kPending && !queue.is_queued(id) &&
+        !queue.is_claimed(id)) {
+      queue.enqueue(Ticket{id, 0, ""});
+    }
+  }
+  write_manifest(queue, cfg, studies, states);
+
+  // Per-study incremental merge: fires the moment a study's last shard
+  // lands (while other studies may still be running), and regenerates a
+  // missing or superseded merged file on resume.
+  std::vector<bool> study_merged(studies.size(), false);
+  const auto maybe_merge_study = [&](std::size_t k) {
+    if (study_merged[k]) return;
+    bool fresh = false;
+    for (const auto& st : states) {
+      if (st.task.study_index != k) continue;
+      if (st.status != TaskState::Status::kDone) return;  // incomplete
+      fresh = fresh || st.completed_this_run;
+    }
+    const std::string out = merged_output_path(queue, k, studies[k]);
+    if (!fresh && fs::exists(out)) {
+      study_merged[k] = true;
+      report.merged_outputs.push_back(out);
+      return;
+    }
+    try {
+      std::vector<study::ResultTable> shards;
+      std::size_t count = 0;
+      for (const auto& st : states) {
+        if (st.task.study_index != k) continue;
+        ++count;
+        shards.push_back(study::ResultTable::from_json_text(
+            io::read_file(queue.artifact_path(st.task.id))));
+      }
+      const auto merged = study::merge_result_tables(std::move(shards));
+      WorkQueue::atomic_write(out, merged.canonical_text());
+      event(cfg, "study %zu: merged %zu shard(s) -> %s", k, count,
+            out.c_str());
+      report.merged_outputs.push_back(out);
+    } catch (const std::exception& e) {
+      report.failures.push_back("study " + std::to_string(k) +
+                                ": merge failed: " + e.what());
+    }
+    study_merged[k] = true;
+  };
+
+  struct Active {
+    Ticket ticket;
+    std::size_t state_index;
+    std::unique_ptr<WorkerHandle> handle;
+    std::chrono::steady_clock::time_point started;
+  };
+  std::vector<Active> active;
+
+  const auto state_index_of = [&](const std::string& id) -> std::size_t {
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (states[i].task.id == id) return i;
+    }
+    return states.size();
+  };
+  const auto pending_count = [&] {
+    std::size_t n = 0;
+    for (const auto& st : states) {
+      if (st.status == TaskState::Status::kPending) ++n;
+    }
+    return n;
+  };
+
+  while (pending_count() > 0 || !active.empty()) {
+    bool progressed = false;
+
+    // 1. Reap finished workers: validate + promote the artifact, or retry.
+    //    A worker past task_timeout is killed and reaped as a failure —
+    //    staleness only covers *other* coordinators' claims, so a hung
+    //    worker of our own needs this bound to not stall the campaign.
+    for (auto it = active.begin(); it != active.end();) {
+      bool timed_out = false;
+      if (it->handle->running()) {
+        if (cfg.task_timeout.count() > 0 &&
+            std::chrono::steady_clock::now() - it->started >
+                cfg.task_timeout) {
+          timed_out = true;
+          it->handle->kill();
+          while (it->handle->running()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds{1});
+          }
+        } else {
+          queue.heartbeat(it->ticket);
+          ++it;
+          continue;
+        }
+      }
+      progressed = true;
+      TaskState& st = states[it->state_index];
+      const std::string& id = st.task.id;
+      const int code = it->handle->exit_code();
+      const std::string part = queue.partial_artifact_path(id);
+
+      std::string err;
+      if (timed_out) {
+        err = "worker exceeded --task-timeout-ms (" +
+              std::to_string(cfg.task_timeout.count()) + " ms) and was killed";
+      } else if (code != 0) {
+        err = "worker exited with code " + std::to_string(code);
+      } else if (!fs::exists(part)) {
+        err = "worker exited 0 but wrote no artifact";
+      } else {
+        err = validate_artifact(part, st.task);
+        if (err.empty()) {
+          std::error_code ec;
+          fs::rename(part, queue.artifact_path(id), ec);
+          if (ec) err = "cannot promote artifact: " + ec.message();
+        }
+      }
+
+      if (err.empty()) {
+        st.status = TaskState::Status::kDone;
+        st.completed_this_run = true;
+        queue.complete(it->ticket);
+        event(cfg, "task %s: done (attempt %zu)", id.c_str(), st.attempts);
+        maybe_merge_study(st.task.study_index);
+      } else {
+        std::error_code ec;
+        fs::remove(part, ec);
+        const std::size_t used = it->ticket.attempts + 1;
+        if (used < 1 + cfg.max_retries) {
+          queue.release_for_retry(it->ticket, used);
+          ++report.retried;
+          event(cfg, "task %s: attempt %zu failed (%s; log: %s) — retrying",
+                id.c_str(), used, err.c_str(), queue.log_path(id).c_str());
+        } else {
+          st.status = TaskState::Status::kFailed;
+          queue.complete(it->ticket);
+          report.failures.push_back("task " + id + ": " + err + " after " +
+                                    std::to_string(used) +
+                                    " attempt(s) (log: " +
+                                    queue.log_path(id) + ")");
+          event(cfg, "task %s: FAILED after %zu attempt(s): %s", id.c_str(),
+                used, err.c_str());
+        }
+      }
+      write_manifest(queue, cfg, studies, states);
+      it = active.erase(it);
+    }
+
+    // 2. Reclaim claims whose owner stopped heartbeating (crashed worker
+    //    or coordinator sharing this state dir).
+    for (const std::string& id :
+         queue.requeue_stale_claims(cfg.stale_after, owner)) {
+      ++report.reclaimed_stale;
+      progressed = true;
+      event(cfg, "task %s: reclaimed stale claim", id.c_str());
+    }
+
+    // 3. A foreign coordinator may finish tasks behind our back: adopt any
+    //    validated artifact that appeared for an unclaimed pending task.
+    for (auto& st : states) {
+      if (st.status != TaskState::Status::kPending) continue;
+      const std::string& id = st.task.id;
+      bool ours = false;
+      for (const auto& a : active) ours |= states[a.state_index].task.id == id;
+      if (ours || queue.is_claimed(id) ||
+          !fs::exists(queue.artifact_path(id))) {
+        continue;
+      }
+      if (validate_artifact(queue.artifact_path(id), st.task).empty()) {
+        st.status = TaskState::Status::kDone;
+        progressed = true;
+        event(cfg, "task %s: completed externally", id.c_str());
+        write_manifest(queue, cfg, studies, states);
+        maybe_merge_study(st.task.study_index);
+      }
+    }
+
+    // 4. Fill the worker pool.
+    while (active.size() < cfg.workers) {
+      auto ticket = queue.try_claim(owner);
+      if (!ticket.has_value()) break;
+      const std::size_t idx = state_index_of(ticket->task_id);
+      if (idx == states.size() ||
+          states[idx].status != TaskState::Status::kPending) {
+        queue.complete(*ticket);  // stray or already-satisfied ticket
+        continue;
+      }
+      TaskState& st = states[idx];
+      st.attempts = ticket->attempts + 1;
+      std::error_code ec;
+      fs::remove(queue.partial_artifact_path(st.task.id), ec);
+      auto handle = launcher(st.task, queue.spec_path(st.task.id),
+                             queue.partial_artifact_path(st.task.id),
+                             queue.log_path(st.task.id));
+      ++report.launched;
+      progressed = true;
+      event(cfg, "task %s: launched (attempt %zu)", st.task.id.c_str(),
+            st.attempts);
+      active.push_back(Active{*ticket, idx, std::move(handle),
+                              std::chrono::steady_clock::now()});
+    }
+
+    // 5. Nothing running and nothing claimable: remaining tasks must be
+    //    claimed elsewhere (we wait for completion or staleness). If they
+    //    are not even claimed, the queue lost them — fail loudly instead
+    //    of spinning forever.
+    if (active.empty() && pending_count() > 0) {
+      bool any_recoverable = false;
+      for (const auto& st : states) {
+        if (st.status != TaskState::Status::kPending) continue;
+        any_recoverable |= queue.is_queued(st.task.id) ||
+                           queue.is_claimed(st.task.id);
+      }
+      if (!any_recoverable) {
+        for (auto& st : states) {
+          if (st.status != TaskState::Status::kPending) continue;
+          st.status = TaskState::Status::kFailed;
+          report.failures.push_back("task " + st.task.id +
+                                    ": vanished from the work queue");
+        }
+        write_manifest(queue, cfg, studies, states);
+        break;
+      }
+    }
+
+    if (!progressed) std::this_thread::sleep_for(cfg.poll_interval);
+  }
+
+  // Studies fully satisfied by reused artifacts never saw a completion
+  // event — make sure every complete study has its merged output.
+  for (std::size_t k = 0; k < studies.size(); ++k) maybe_merge_study(k);
+
+  for (const auto& st : states) {
+    if (st.status == TaskState::Status::kDone) ++report.completed;
+  }
+  write_manifest(queue, cfg, studies, states);
+  event(cfg,
+        "campaign: %zu/%zu task(s) done (launched %zu worker(s), reused %zu "
+        "artifact(s), retried %zu, reclaimed %zu stale claim(s)); state: %s",
+        report.completed, report.tasks, report.launched, report.reused,
+        report.retried, report.reclaimed_stale, cfg.dir.c_str());
+  return report;
+}
+
+// -------------------------------------------------------------- launchers
+
+WorkerLauncher subprocess_launcher(std::string varbench_binary) {
+  return [bin = std::move(varbench_binary)](
+             const CampaignTask&, const std::string& spec_path,
+             const std::string& artifact_path,
+             const std::string& log_path) -> std::unique_ptr<WorkerHandle> {
+    class ProcessHandle : public WorkerHandle {
+     public:
+      explicit ProcessHandle(Subprocess p) : process_{std::move(p)} {}
+      bool running() override { return process_.running(); }
+      int exit_code() override { return process_.exit_code(); }
+      void kill() override { process_.kill(); }
+
+     private:
+      Subprocess process_;
+    };
+    try {
+      return std::make_unique<ProcessHandle>(Subprocess::spawn(
+          {bin, "run", spec_path, "--out", artifact_path}, log_path));
+    } catch (const std::exception& e) {
+      // Spawn failure counts as a failed attempt, not a coordinator crash.
+      try {
+        io::write_file(log_path, std::string{"spawn failed: "} + e.what() +
+                                     "\n");
+      } catch (const io::JsonError&) {
+      }
+      return std::make_unique<CompletedHandle>(127);
+    }
+  };
+}
+
+WorkerLauncher in_process_launcher() {
+  return [](const CampaignTask&, const std::string& spec_path,
+            const std::string& artifact_path,
+            const std::string& log_path) -> std::unique_ptr<WorkerHandle> {
+    try {
+      // Execute what the state dir records — exactly what a subprocess
+      // worker would read — not the in-memory task.
+      const auto spec =
+          study::StudySpec::from_json_text(io::read_file(spec_path));
+      const auto table = study::run_study(spec);
+      WorkQueue::atomic_write(artifact_path, table.to_json_text());
+      return std::make_unique<CompletedHandle>(0);
+    } catch (const std::exception& e) {
+      try {
+        io::write_file(log_path, std::string{e.what()} + "\n");
+      } catch (const io::JsonError&) {
+      }
+      return std::make_unique<CompletedHandle>(1);
+    }
+  };
+}
+
+}  // namespace varbench::campaign

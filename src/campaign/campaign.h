@@ -1,0 +1,106 @@
+// Campaign coordinator: fan a list of StudySpecs out as shard tasks over a
+// pool of workers, retry failures up to a bound, merge completed studies
+// incrementally, and leave a resumable state directory behind.
+//
+// The scheduling logic is process-agnostic: workers are launched through
+// the WorkerLauncher abstraction, so tests (and embedders) drive the whole
+// coordinator in-process while `varbench campaign` plugs in
+// subprocess_launcher() to spawn `varbench run` children. Determinism
+// argument: every task is an ordinary shard run — per-repetition RNG
+// streams keyed by the global repetition index — so whatever order, worker
+// count, retry history, or machine the shards land from, the merged
+// artifact is byte-identical to the unsharded run (docs/campaigns.md).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/study/study_spec.h"
+
+namespace varbench::campaign {
+
+/// One schedulable unit: study `study_index` restricted to `spec.shard`.
+struct CampaignTask {
+  std::string id;  // "s<study>-<i>of<N>": file-name-safe and sort-stable
+  std::size_t study_index = 0;
+  study::StudySpec spec;
+};
+
+/// A started worker, polled by the coordinator.
+class WorkerHandle {
+ public:
+  virtual ~WorkerHandle() = default;
+  virtual bool running() = 0;
+  /// Valid once running() is false: 0 = success, anything else = failure.
+  virtual int exit_code() = 0;
+  /// Forcibly terminate a still-running worker (task_timeout enforcement).
+  /// running() must eventually turn false after this. Default: no-op, for
+  /// launchers that finish synchronously.
+  virtual void kill() {}
+};
+
+/// Start work on `task` (its spec is serialized at `spec_path`), writing
+/// the shard artifact to `artifact_path` on success and diagnostics to
+/// `log_path`. Must not throw for ordinary worker failures — report those
+/// through the handle's exit code.
+using WorkerLauncher = std::function<std::unique_ptr<WorkerHandle>(
+    const CampaignTask& task, const std::string& spec_path,
+    const std::string& artifact_path, const std::string& log_path)>;
+
+struct CampaignConfig {
+  std::string dir;          // state directory (created if missing)
+  std::size_t shards = 1;   // shards per study (hpo studies always get 1)
+  std::size_t workers = 1;  // max concurrently running workers
+  std::size_t max_retries = 2;  // re-launches allowed after the first attempt
+  std::chrono::milliseconds stale_after{60'000};  // claim heartbeat timeout
+  /// Kill a worker still running after this long and count the launch as a
+  /// failed attempt — a hung (not crashed) worker must not stall the
+  /// campaign forever. 0 disables the limit.
+  std::chrono::milliseconds task_timeout{0};
+  std::chrono::milliseconds poll_interval{25};
+  bool resume = false;       // required to reuse an initialized state dir
+  std::FILE* events = nullptr;  // progress lines (CLI: stderr); null = quiet
+};
+
+struct CampaignReport {
+  std::size_t tasks = 0;
+  std::size_t completed = 0;
+  std::size_t launched = 0;         // worker launches, including retries
+  std::size_t reused = 0;           // tasks satisfied by existing artifacts
+  std::size_t retried = 0;
+  std::size_t reclaimed_stale = 0;
+  std::vector<std::string> merged_outputs;  // merged artifact paths
+  std::vector<std::string> failures;        // "task <id>: <why>"
+
+  [[nodiscard]] bool ok() const {
+    return failures.empty() && completed == tasks;
+  }
+};
+
+/// Split every study into its shard tasks ("s<k>-<i>of<N>"). Studies whose
+/// kind cannot shard (hpo) get exactly one task. Throws on empty input.
+[[nodiscard]] std::vector<CampaignTask> plan_tasks(
+    const std::vector<study::StudySpec>& studies, std::size_t shards);
+
+/// Drive the campaign to completion (or bounded failure): initialize or
+/// resume the state directory, schedule shard tasks through the work queue,
+/// launch up to `workers` workers at a time, validate + retry, and merge
+/// each study as its last shard lands. Throws io::JsonError on a state
+/// directory that cannot be (re)used; per-task failures land in the report.
+[[nodiscard]] CampaignReport run_campaign(
+    const CampaignConfig& config, const std::vector<study::StudySpec>& studies,
+    const WorkerLauncher& launcher);
+
+/// Launcher that spawns `<varbench_binary> run <spec> --out <artifact>`.
+[[nodiscard]] WorkerLauncher subprocess_launcher(std::string varbench_binary);
+
+/// Launcher that calls study::run_study() in this process (synchronously).
+/// The coordinator-under-test path, and the embedder path when process
+/// isolation is not wanted.
+[[nodiscard]] WorkerLauncher in_process_launcher();
+
+}  // namespace varbench::campaign

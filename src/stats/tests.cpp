@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 #include <vector>
 
+#include "src/exec/parallel_replicate.h"
 #include "src/stats/descriptive.h"
 #include "src/stats/distributions.h"
 
@@ -163,6 +165,101 @@ TestResult wilcoxon_signed_rank(std::span<const double> a,
 double bonferroni_alpha(double alpha, std::size_t m) {
   if (m == 0) throw std::invalid_argument("bonferroni_alpha: m == 0");
   return alpha / static_cast<double>(m);
+}
+
+namespace {
+
+/// Add-one Monte-Carlo p-value from per-permutation "at least as extreme"
+/// flags — guarantees p > 0 and unbiased coverage (Phipson & Smyth 2010).
+double add_one_p(const std::vector<std::uint8_t>& extreme) {
+  std::size_t hits = 0;
+  for (const std::uint8_t e : extreme) hits += e;
+  return static_cast<double>(1 + hits) /
+         static_cast<double>(1 + extreme.size());
+}
+
+}  // namespace
+
+TestResult permutation_test_mean_diff(const exec::ExecContext& ctx,
+                                      std::span<const double> a,
+                                      std::span<const double> b,
+                                      rngx::Rng& rng,
+                                      std::size_t num_permutations) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("permutation_test_mean_diff: empty sample");
+  }
+  if (num_permutations == 0) {
+    throw std::invalid_argument(
+        "permutation_test_mean_diff: num_permutations == 0");
+  }
+  const double observed = mean(a) - mean(b);
+  const double threshold = std::abs(observed);
+  std::vector<double> pooled;
+  pooled.reserve(a.size() + b.size());
+  pooled.insert(pooled.end(), a.begin(), a.end());
+  pooled.insert(pooled.end(), b.begin(), b.end());
+  const std::size_t na = a.size();
+  const auto extreme = exec::parallel_replicate<std::uint8_t>(
+      ctx, num_permutations, rng, "permutation",
+      [&](std::size_t, rngx::Rng& perm_rng) -> std::uint8_t {
+        std::vector<double> shuffled = pooled;
+        perm_rng.shuffle(shuffled);
+        double sum_a = 0.0;
+        for (std::size_t i = 0; i < na; ++i) sum_a += shuffled[i];
+        double sum_b = 0.0;
+        for (std::size_t i = na; i < shuffled.size(); ++i) {
+          sum_b += shuffled[i];
+        }
+        const double diff =
+            sum_a / static_cast<double>(na) -
+            sum_b / static_cast<double>(shuffled.size() - na);
+        return std::abs(diff) >= threshold ? 1 : 0;
+      });
+  return {observed, add_one_p(extreme)};
+}
+
+TestResult permutation_test_mean_diff(std::span<const double> a,
+                                      std::span<const double> b,
+                                      rngx::Rng& rng,
+                                      std::size_t num_permutations) {
+  return permutation_test_mean_diff(exec::ExecContext::serial(), a, b, rng,
+                                    num_permutations);
+}
+
+TestResult paired_permutation_test(const exec::ExecContext& ctx,
+                                   std::span<const double> a,
+                                   std::span<const double> b, rngx::Rng& rng,
+                                   std::size_t num_permutations) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("paired_permutation_test: size mismatch");
+  }
+  if (a.empty()) {
+    throw std::invalid_argument("paired_permutation_test: empty sample");
+  }
+  if (num_permutations == 0) {
+    throw std::invalid_argument(
+        "paired_permutation_test: num_permutations == 0");
+  }
+  std::vector<double> d(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) d[i] = a[i] - b[i];
+  const double observed = mean(d);
+  const double threshold = std::abs(observed);
+  const double n = static_cast<double>(d.size());
+  const auto extreme = exec::parallel_replicate<std::uint8_t>(
+      ctx, num_permutations, rng, "paired_permutation",
+      [&](std::size_t, rngx::Rng& perm_rng) -> std::uint8_t {
+        double sum = 0.0;
+        for (const double di : d) sum += perm_rng.bernoulli(0.5) ? di : -di;
+        return std::abs(sum / n) >= threshold ? 1 : 0;
+      });
+  return {observed, add_one_p(extreme)};
+}
+
+TestResult paired_permutation_test(std::span<const double> a,
+                                   std::span<const double> b, rngx::Rng& rng,
+                                   std::size_t num_permutations) {
+  return paired_permutation_test(exec::ExecContext::serial(), a, b, rng,
+                                 num_permutations);
 }
 
 }  // namespace varbench::stats

@@ -1,8 +1,15 @@
 // Classical hypothesis tests used in benchmark comparisons:
-// t-tests, z-test, Mann–Whitney U, Wilcoxon signed-rank.
+// t-tests, z-test, Mann–Whitney U, Wilcoxon signed-rank — plus their
+// distribution-free Monte-Carlo counterparts (permutation tests), which run
+// through exec::parallel_replicate on per-permutation RNG streams and are
+// therefore bit-identical at every thread count (docs/determinism.md).
 #pragma once
 
+#include <cstddef>
 #include <span>
+
+#include "src/exec/exec_context.h"
+#include "src/rngx/rng.h"
 
 namespace varbench::stats {
 
@@ -55,5 +62,34 @@ struct MannWhitneyResult {
 
 /// Bonferroni-corrected significance level for m comparisons (§6).
 [[nodiscard]] double bonferroni_alpha(double alpha, std::size_t m);
+
+/// Two-sample Monte-Carlo permutation test of H0: mean(a) == mean(b).
+/// `statistic` is the observed mean(a) − mean(b); `p_value` is the
+/// two-sided add-one permutation p-value (1 + #{|perm| ≥ |obs|}) / (1 + R)
+/// over R label reshuffles of the pooled sample. Permutations fan out
+/// through exec::parallel_replicate — each permutation index owns an RNG
+/// stream derived from (rng, "permutation", index), so the result is
+/// bit-identical for every thread count.
+[[nodiscard]] TestResult permutation_test_mean_diff(
+    const exec::ExecContext& ctx, std::span<const double> a,
+    std::span<const double> b, rngx::Rng& rng,
+    std::size_t num_permutations = 10000);
+/// Serial convenience overload (same bits as any thread count).
+[[nodiscard]] TestResult permutation_test_mean_diff(
+    std::span<const double> a, std::span<const double> b, rngx::Rng& rng,
+    std::size_t num_permutations = 10000);
+
+/// Paired-sample sign-flip permutation test of H0: mean(a − b) == 0.
+/// Each permutation flips the sign of every paired difference with
+/// probability 1/2 (the exact null for exchangeable pairs); p-value and
+/// determinism contract as in permutation_test_mean_diff.
+[[nodiscard]] TestResult paired_permutation_test(
+    const exec::ExecContext& ctx, std::span<const double> a,
+    std::span<const double> b, rngx::Rng& rng,
+    std::size_t num_permutations = 10000);
+/// Serial convenience overload (same bits as any thread count).
+[[nodiscard]] TestResult paired_permutation_test(
+    std::span<const double> a, std::span<const double> b, rngx::Rng& rng,
+    std::size_t num_permutations = 10000);
 
 }  // namespace varbench::stats

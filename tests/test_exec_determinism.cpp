@@ -16,6 +16,7 @@
 #include "src/stats/bootstrap.h"
 #include "src/stats/descriptive.h"
 #include "src/stats/prob_outperform.h"
+#include "src/stats/tests.h"
 
 namespace varbench {
 namespace {
@@ -266,6 +267,40 @@ TEST(ExecDeterminism, ProbOutperformTestBitIdenticalAcrossThreadCounts) {
   const auto legacy =
       stats::test_probability_of_outperforming(a, b, rng, 0.75, 500);
   EXPECT_EQ(legacy.ci, results[0].ci);
+}
+
+TEST(ExecDeterminism, PermutationTestsBitIdenticalAcrossThreadCounts) {
+  std::vector<double> a(35);
+  std::vector<double> b(35);
+  rngx::Rng data_rng{26};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = data_rng.normal(0.72, 0.03);
+    b[i] = data_rng.normal(0.70, 0.03);
+  }
+  std::vector<stats::TestResult> unpaired;
+  std::vector<stats::TestResult> paired;
+  for (const std::size_t threads : kThreadCounts) {
+    rngx::Rng rng{27};
+    unpaired.push_back(stats::permutation_test_mean_diff(
+        exec::ExecContext{threads}, a, b, rng, 1500));
+    rngx::Rng paired_rng{28};
+    paired.push_back(stats::paired_permutation_test(
+        exec::ExecContext{threads}, a, b, paired_rng, 1500));
+  }
+  for (std::size_t t = 1; t < unpaired.size(); ++t) {
+    EXPECT_EQ(unpaired[t], unpaired[0])
+        << "permutation_test_mean_diff differs at " << kThreadCounts[t]
+        << " threads";
+    EXPECT_EQ(paired[t], paired[0])
+        << "paired_permutation_test differs at " << kThreadCounts[t]
+        << " threads";
+  }
+  // The ctx-less overloads are the serial special case of the same
+  // computation.
+  rngx::Rng rng{27};
+  EXPECT_EQ(stats::permutation_test_mean_diff(a, b, rng, 1500), unpaired[0]);
+  rngx::Rng paired_rng{28};
+  EXPECT_EQ(stats::paired_permutation_test(a, b, paired_rng, 1500), paired[0]);
 }
 
 TEST(ExecDeterminism, RankingStabilityBitIdenticalAcrossThreadCounts) {

@@ -180,5 +180,88 @@ TEST(Bonferroni, DividesAlpha) {
   EXPECT_THROW((void)bonferroni_alpha(0.05, 0), std::invalid_argument);
 }
 
+TEST(PermutationTest, NullDataGivesLargeP) {
+  rngx::Rng data_rng{31};
+  std::vector<double> a(40);
+  std::vector<double> b(40);
+  for (double& v : a) v = data_rng.normal(1.0, 0.5);
+  for (double& v : b) v = data_rng.normal(1.0, 0.5);
+  rngx::Rng rng{32};
+  const auto r = permutation_test_mean_diff(a, b, rng, 2000);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(PermutationTest, SeparatedDataGivesSmallP) {
+  rngx::Rng data_rng{33};
+  std::vector<double> a(40);
+  std::vector<double> b(40);
+  for (double& v : a) v = data_rng.normal(1.0, 0.3);
+  for (double& v : b) v = data_rng.normal(0.0, 0.3);
+  rngx::Rng rng{34};
+  const auto r = permutation_test_mean_diff(a, b, rng, 2000);
+  // Add-one p-value floor: 1 / (1 + 2000).
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_NEAR(r.statistic, 1.0, 0.3);
+}
+
+TEST(PermutationTest, AgreesWithWelchOnGaussianData) {
+  rngx::Rng data_rng{35};
+  std::vector<double> a(60);
+  std::vector<double> b(60);
+  for (double& v : a) v = data_rng.normal(0.1, 1.0);
+  for (double& v : b) v = data_rng.normal(0.0, 1.0);
+  rngx::Rng rng{36};
+  const auto perm = permutation_test_mean_diff(a, b, rng, 5000);
+  const auto welch = welch_t_test(a, b);
+  EXPECT_NEAR(perm.p_value, welch.p_value, 0.05);
+}
+
+TEST(PermutationTest, RejectsBadInputs) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> empty;
+  rngx::Rng rng{37};
+  EXPECT_THROW((void)permutation_test_mean_diff(empty, x, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)permutation_test_mean_diff(x, x, rng, 0),
+               std::invalid_argument);
+}
+
+TEST(PairedPermutationTest, DetectsPairedShift) {
+  rngx::Rng data_rng{38};
+  std::vector<double> a(30);
+  std::vector<double> b(30);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = data_rng.normal(0.0, 1.0);
+    b[i] = a[i] - 0.4 - data_rng.normal(0.0, 0.1);
+  }
+  rngx::Rng rng{39};
+  const auto r = paired_permutation_test(a, b, rng, 2000);
+  EXPECT_LT(r.p_value, 0.01);
+  EXPECT_GT(r.statistic, 0.0);
+}
+
+TEST(PairedPermutationTest, NullPairsGiveLargeP) {
+  rngx::Rng data_rng{40};
+  std::vector<double> a(30);
+  std::vector<double> b(30);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = data_rng.normal(0.0, 1.0);
+    b[i] = a[i] + data_rng.normal(0.0, 0.2);  // noise, no shift
+  }
+  rngx::Rng rng{41};
+  const auto r = paired_permutation_test(a, b, rng, 2000);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(PairedPermutationTest, RejectsBadInputs) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{1.0};
+  rngx::Rng rng{42};
+  EXPECT_THROW((void)paired_permutation_test(x, y, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)paired_permutation_test(y, y, rng, 0),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace varbench::stats

@@ -5,13 +5,17 @@
 //   varbench run   <spec.json> [--set key=val ...] [--shard i/N]
 //                  [--threads N] [--out out.json] [--csv out.csv]
 //                  [--canonical]
-//   varbench merge <shard1.json> <shard2.json> ... [--out merged.json]
+//   varbench merge <shard.json | shard-dir> ... [--out merged.json]
 //                  [--csv merged.csv]
+//   varbench campaign <spec.json> --dir <state-dir> [--shards N]
+//                  [--workers K] [--resume] [--max-retries R]
 //
 // `run` executes a serialized StudySpec and writes the canonical
 // ResultTable artifact; `--shard i/N` computes slice i of N (bit-identical
 // to the same slice of the unsharded run; merging all N slices with
-// `merge` reproduces the unsharded artifact exactly).
+// `merge` reproduces the unsharded artifact exactly). `campaign` fans a
+// spec (or a JSON array of specs) out over a pool of `varbench run` worker
+// subprocesses through a resumable state directory (docs/campaigns.md).
 //
 // The legacy subcommands are thin spec builders over the same engine and
 // print the same numbers they always did:
@@ -25,15 +29,20 @@
 //
 // study/compare/hpo accept --out/--csv (write the artifact) and
 // --dump-spec FILE (write the equivalent spec and exit without running).
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "src/campaign/campaign.h"
+#include "src/campaign/subprocess.h"
 #include "src/io/json.h"
 #include "src/study/result_table.h"
 #include "src/study/study_runner.h"
@@ -43,6 +52,10 @@
 namespace {
 
 using namespace varbench;
+
+/// argv[0], kept for campaign worker spawning (fallback when /proc/self/exe
+/// is unavailable).
+std::string g_argv0 = "varbench";
 
 // ------------------------------------------------------------ arguments
 
@@ -70,7 +83,7 @@ struct Args {
 
 /// Flags that never consume the following token as a value.
 const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> flags{"canonical", "help"};
+  static const std::set<std::string> flags{"canonical", "help", "resume"};
   return flags;
 }
 
@@ -235,17 +248,46 @@ int cmd_run(const Args& a) {
   return finish_study(study::run_study(spec), a);
 }
 
+/// Expand a merge operand: a file stands for itself; a directory stands for
+/// the `*.json` files it holds — preferring its `artifacts/` subdirectory
+/// when present, so a campaign state dir and a hand-run shard dir merge the
+/// same way. In-flight `.part` files and `campaign.json` are skipped.
+std::vector<std::string> expand_shard_paths(const std::string& operand) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(operand)) return {operand};
+  fs::path dir{operand};
+  if (fs::is_directory(dir / "artifacts")) dir /= "artifacts";
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator{dir}) {
+    const fs::path& p = entry.path();
+    if (!entry.is_regular_file() || p.extension() != ".json") continue;
+    if (p.filename() == "campaign.json") continue;
+    files.push_back(p.string());
+  }
+  if (files.empty()) {
+    throw std::invalid_argument("merge: no shard artifacts (*.json) in '" +
+                                dir.string() + "'");
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
 int cmd_merge(const Args& a) {
   require_known_flags(a, {"out", "csv"});
-  if (a.positional.size() < 2) {
+  if (a.positional.empty()) {
     std::fprintf(stderr,
-                 "usage: varbench merge <shard1.json> <shard2.json> ... "
-                 "[--out merged.json] [--csv merged.csv]\n");
+                 "usage: varbench merge <shard.json | shard-dir> ... "
+                 "[--out merged.json] [--csv merged.csv]\n"
+                 "a directory operand merges every *.json inside it (a "
+                 "campaign state dir merges its artifacts/)\n");
     return 2;
   }
   std::vector<study::ResultTable> shards;
-  for (const auto& path : a.positional) {
-    shards.push_back(study::ResultTable::from_json_text(io::read_file(path)));
+  for (const auto& operand : a.positional) {
+    for (const auto& path : expand_shard_paths(operand)) {
+      shards.push_back(
+          study::ResultTable::from_json_text(io::read_file(path)));
+    }
   }
   const auto merged = study::merge_result_tables(std::move(shards));
   // A merged artifact has no single producing process; it is always
@@ -260,6 +302,67 @@ int cmd_merge(const Args& a) {
   }
   study::print_summary(merged, stdout);
   return 0;
+}
+
+int cmd_campaign(const Args& a) {
+  require_known_flags(a, {"shards", "workers", "dir", "resume", "max-retries",
+                          "stale-ms", "task-timeout-ms", "set", "threads"});
+  const std::string dir = opt_string(a, "dir", "");
+  if (a.positional.empty() || dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: varbench campaign <spec.json> ... --dir <state-dir> "
+                 "[--shards N] [--workers K] [--resume] [--max-retries R] "
+                 "[--stale-ms T] [--task-timeout-ms T] [--set key=val ...] "
+                 "[--threads N]\n"
+                 "each <spec.json> is one StudySpec or a JSON array of "
+                 "specs; --resume finishes the gaps of an existing state "
+                 "dir\n");
+    return 2;
+  }
+  std::vector<io::Json> raw;
+  for (const std::string& path : a.positional) {
+    io::Json doc = io::Json::parse(io::read_file(path));
+    if (doc.is_array()) {
+      for (const io::Json& spec_doc : doc.as_array()) {
+        raw.push_back(spec_doc);
+      }
+    } else {
+      raw.push_back(std::move(doc));
+    }
+  }
+  std::vector<study::StudySpec> studies;
+  for (io::Json& spec_doc : raw) {
+    for (const std::string& assignment : a.all("set")) {
+      study::apply_override(spec_doc, assignment);
+    }
+    if (const std::string* threads = a.find("threads")) {
+      study::apply_override(spec_doc, "threads", *threads);
+    }
+    studies.push_back(study::StudySpec::from_json(spec_doc));
+  }
+
+  campaign::CampaignConfig cfg;
+  cfg.dir = dir;
+  cfg.shards = opt_size(a, "shards", 1);
+  cfg.workers = opt_size(a, "workers", 1);
+  cfg.max_retries = opt_size(a, "max-retries", 2);
+  cfg.stale_after = std::chrono::milliseconds{opt_size(a, "stale-ms", 60'000)};
+  cfg.task_timeout =
+      std::chrono::milliseconds{opt_size(a, "task-timeout-ms", 0)};
+  cfg.resume = opt_flag(a, "resume");
+  cfg.events = stderr;
+
+  const auto report = campaign::run_campaign(
+      cfg, studies,
+      campaign::subprocess_launcher(campaign::current_executable(g_argv0)));
+
+  for (const auto& path : report.merged_outputs) {
+    std::printf("merged: %s\n", path.c_str());
+  }
+  for (const auto& failure : report.failures) {
+    std::fprintf(stderr, "error: %s\n", failure.c_str());
+  }
+  return report.ok() ? 0 : 1;
 }
 
 // ----------------------------------------------------- legacy subcommands
@@ -388,8 +491,10 @@ void usage() {
       "spec-driven interface (docs/study_api.md):\n"
       "  run     <spec.json> [--set key=val ...] [--shard i/N] [--threads N]\n"
       "          [--out out.json] [--csv out.csv] [--canonical]\n"
-      "  merge   <shard1.json> <shard2.json> ... [--out merged.json]\n"
+      "  merge   <shard.json | shard-dir> ... [--out merged.json]\n"
       "          [--csv merged.csv]\n"
+      "  campaign <spec.json> --dir <state-dir> [--shards N] [--workers K]\n"
+      "          [--resume] [--max-retries R] (docs/campaigns.md)\n"
       "legacy spec builders (same numbers as always; add --dump-spec f.json\n"
       "to write the equivalent spec instead of running):\n"
       "  tasks                       list case studies\n"
@@ -410,11 +515,13 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  g_argv0 = argv[0];
   const std::string cmd = argv[1];
   const Args args = parse(argc, argv, 2);
   try {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "merge") return cmd_merge(args);
+    if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "tasks") return cmd_tasks(args);
     if (cmd == "plan") return cmd_plan(args);
     if (cmd == "study") return cmd_study(args);
