@@ -17,15 +17,15 @@ using namespace varbench;
 
 double simulated_std_of_mean(const compare::TaskVarianceProfile& profile,
                              std::size_t k, std::size_t realizations,
-                             rngx::Rng& rng) {
-  std::vector<double> means;
-  means.reserve(realizations);
-  for (std::size_t r = 0; r < realizations; ++r) {
-    const auto x =
-        compare::simulate_measures(profile, compare::EstimatorKind::kBiased,
-                                   0.0, k, rng);
-    means.push_back(stats::mean(x));
-  }
+                             rngx::Rng& master) {
+  // Each realization owns an RNG stream keyed by its index, so the figure
+  // is bit-identical at every VARBENCH_THREADS setting.
+  const auto means = exec::parallel_replicate<double>(
+      benchutil::exec_context(), realizations, master, "fig05_realization",
+      [&](std::size_t, rngx::Rng& rng) {
+        return stats::mean(compare::simulate_measures(
+            profile, compare::EstimatorKind::kBiased, 0.0, k, rng));
+      });
   return stats::stddev(means);
 }
 

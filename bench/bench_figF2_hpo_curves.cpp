@@ -17,50 +17,68 @@ struct CurvePair {
   std::vector<std::vector<double>> test;   // per seed: test risk at incumbent
 };
 
+struct SeedCurves {
+  std::vector<double> valid;
+  std::vector<double> test;
+};
+
+/// One independent ξH seed's best-so-far curves. Runs on its own RNG
+/// stream, so the ξH fan-out below parallelizes without changing numbers.
+SeedCurves run_one_seed(const casestudies::CaseStudy& cs,
+                        const hpo::HpoAlgorithm& algo, std::size_t budget,
+                        rngx::Rng& seed_rng) {
+  const rngx::VariationSeeds base;  // ξO fixed: variance is ξH-only
+  const auto seeds = base.with_randomized(rngx::VariationSource::kHpo,
+                                          seed_rng);
+  auto split_rng = seeds.rng_for(rngx::VariationSource::kDataSplit);
+  const auto split = cs.splitter->split(*cs.pool, split_rng);
+  const auto [trainvalid, test] = core::materialize(*cs.pool, split);
+  // Inner split for the HPO objective.
+  auto hpo_rng = seeds.rng_for(rngx::VariationSource::kHpo);
+  std::vector<std::size_t> order(trainvalid.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  hpo_rng.shuffle(order);
+  const std::size_t n_valid = order.size() / 4;
+  const auto inner_valid = ml::subset(
+      trainvalid, std::span<const std::size_t>{order.data(), n_valid});
+  const auto inner_train = ml::subset(
+      trainvalid, std::span<const std::size_t>{order.data() + n_valid,
+                                               order.size() - n_valid});
+  std::vector<double> valid_curve;
+  std::vector<double> test_curve;
+  double best_valid = 1e9;
+  double test_at_best = 1e9;
+  const hpo::Objective objective = [&](const hpo::ParamPoint& lambda) {
+    const double valid_risk =
+        1.0 - cs.pipeline->train_and_evaluate(inner_train, inner_valid,
+                                              lambda, seeds);
+    if (valid_risk < best_valid) {
+      best_valid = valid_risk;
+      test_at_best = 1.0 - cs.pipeline->train_and_evaluate(
+                               trainvalid, test, lambda, seeds);
+    }
+    valid_curve.push_back(best_valid);
+    test_curve.push_back(test_at_best);
+    return valid_risk;
+  };
+  (void)algo.optimize(cs.pipeline->search_space(), objective, budget,
+                      hpo_rng);
+  return SeedCurves{std::move(valid_curve), std::move(test_curve)};
+}
+
 CurvePair run_hpo_curves(const casestudies::CaseStudy& cs,
                          const hpo::HpoAlgorithm& algo, std::size_t budget,
                          std::size_t seeds_n) {
-  CurvePair out;
   rngx::Rng master{rngx::derive_seed(0xF2, cs.id)};
-  const rngx::VariationSeeds base;  // ξO fixed: variance is ξH-only
-  for (std::size_t s = 0; s < seeds_n; ++s) {
-    const auto seeds = base.with_randomized(rngx::VariationSource::kHpo,
-                                            master);
-    auto split_rng = seeds.rng_for(rngx::VariationSource::kDataSplit);
-    const auto split = cs.splitter->split(*cs.pool, split_rng);
-    const auto [trainvalid, test] = core::materialize(*cs.pool, split);
-    // Inner split for the HPO objective.
-    auto hpo_rng = seeds.rng_for(rngx::VariationSource::kHpo);
-    std::vector<std::size_t> order(trainvalid.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    hpo_rng.shuffle(order);
-    const std::size_t n_valid = order.size() / 4;
-    const auto inner_valid = ml::subset(
-        trainvalid, std::span<const std::size_t>{order.data(), n_valid});
-    const auto inner_train = ml::subset(
-        trainvalid, std::span<const std::size_t>{order.data() + n_valid,
-                                                 order.size() - n_valid});
-    std::vector<double> valid_curve;
-    std::vector<double> test_curve;
-    double best_valid = 1e9;
-    double test_at_best = 1e9;
-    const hpo::Objective objective = [&](const hpo::ParamPoint& lambda) {
-      const double valid_risk =
-          1.0 - cs.pipeline->train_and_evaluate(inner_train, inner_valid,
-                                                lambda, seeds);
-      if (valid_risk < best_valid) {
-        best_valid = valid_risk;
-        test_at_best = 1.0 - cs.pipeline->train_and_evaluate(
-                                 trainvalid, test, lambda, seeds);
-      }
-      valid_curve.push_back(best_valid);
-      test_curve.push_back(test_at_best);
-      return valid_risk;
-    };
-    (void)algo.optimize(cs.pipeline->search_space(), objective, budget,
-                        hpo_rng);
-    out.valid.push_back(std::move(valid_curve));
-    out.test.push_back(std::move(test_curve));
+  const auto per_seed = exec::parallel_replicate<SeedCurves>(
+      benchutil::exec_context(), seeds_n, master, "figF2_seed",
+      [&](std::size_t, rngx::Rng& seed_rng) {
+        return run_one_seed(cs, algo, budget, seed_rng);
+      });
+  CurvePair out;
+  for (const SeedCurves& curves : per_seed) {
+    out.valid.push_back(curves.valid);
+    out.test.push_back(curves.test);
   }
   return out;
 }

@@ -22,12 +22,19 @@ struct Decomposition {
 // model: many realizations of µ̃(k) against the true µ.
 Decomposition decompose(const compare::TaskVarianceProfile& profile,
                         compare::EstimatorKind kind, std::size_t k,
-                        std::size_t realizations, rngx::Rng& rng) {
+                        std::size_t realizations, rngx::Rng& master) {
+  // Per-realization RNG streams: the decomposition is bit-identical at
+  // every VARBENCH_THREADS setting.
+  const auto draws = exec::parallel_replicate<std::vector<double>>(
+      benchutil::exec_context(), realizations, master, "figH5_realization",
+      [&](std::size_t, rngx::Rng& rng) {
+        return compare::simulate_measures(profile, kind, 0.0, k, rng);
+      });
   std::vector<double> means;
   std::vector<double> singles;  // for Var(R̂e), pooled
   means.reserve(realizations);
-  for (std::size_t r = 0; r < realizations; ++r) {
-    const auto x = compare::simulate_measures(profile, kind, 0.0, k, rng);
+  singles.reserve(realizations * k);
+  for (const auto& x : draws) {
     means.push_back(stats::mean(x));
     singles.insert(singles.end(), x.begin(), x.end());
   }

@@ -9,12 +9,15 @@
 //   VARBENCH_REPS    repetitions per measurement          (bench-specific)
 //   VARBENCH_FULL=1  paper-faithful sizes (slow; hours)
 //   VARBENCH_OUT     directory for ResultTable artifacts (default: none)
+//   VARBENCH_THREADS worker count for the Monte-Carlo loops (default 0 =
+//                    all cores; results bit-identical at any setting)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "src/exec/exec_context.h"
 #include "src/study/result_table.h"
 
 namespace varbench::benchutil {
@@ -35,6 +38,13 @@ inline std::size_t env_size(const char* name, std::size_t fallback) {
 inline bool env_flag(const char* name) {
   const char* v = std::getenv(name);
   return v != nullptr && std::string(v) != "0" && std::string(v) != "";
+}
+
+/// Execution context of the harness's own Monte-Carlo loops. Defaults to
+/// all hardware threads; the determinism contract (docs/determinism.md)
+/// makes the printed numbers invariant to the setting.
+inline exec::ExecContext exec_context() {
+  return exec::ExecContext{env_size("VARBENCH_THREADS", 0)};
 }
 
 inline double scale() {

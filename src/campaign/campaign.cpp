@@ -2,6 +2,7 @@
 
 #include <cstdarg>
 #include <filesystem>
+#include <map>
 #include <stdexcept>
 #include <thread>
 
@@ -34,6 +35,11 @@ struct TaskState {
   enum class Status { kPending, kDone, kFailed } status = Status::kPending;
   std::size_t attempts = 0;
   bool completed_this_run = false;
+  /// Wall time of the successful attempt (worker-measured provenance from
+  /// the artifact; coordinator launch-to-reap time when the artifact
+  /// carries none). 0 until the task is done. Persisted in campaign.json
+  /// so autoscaling hints and `varbench report <dir>` can read it.
+  double wall_ms = 0.0;
 };
 
 std::string_view to_string(TaskState::Status s) {
@@ -68,6 +74,7 @@ void write_manifest(const WorkQueue& queue, const CampaignConfig& cfg,
     t.set("shard", io::Json{st.task.spec.shard.label()});
     t.set("status", io::Json{to_string(st.status)});
     t.set("attempts", io::Json{st.attempts});
+    t.set("wall_time_ms", io::Json{st.wall_ms});
     tasks.push_back(std::move(t));
   }
   doc.set("tasks", std::move(tasks));
@@ -76,10 +83,9 @@ void write_manifest(const WorkQueue& queue, const CampaignConfig& cfg,
 
 /// An existing manifest must describe this exact campaign — resuming with a
 /// different spec list or shard count would mix incompatible artifacts.
-void validate_manifest(const std::string& path,
+void validate_manifest(const io::Json& doc, const std::string& path,
                        const std::vector<study::StudySpec>& studies,
                        std::size_t shards) {
-  const io::Json doc = io::Json::parse(io::read_file(path));
   const std::string& schema = doc.at("schema").as_string();
   if (schema != kManifestSchema) {
     throw io::JsonError("campaign: unsupported manifest schema '" + schema +
@@ -115,9 +121,12 @@ void validate_manifest(const std::string& path,
 // ------------------------------------------------------------ validation
 
 /// Empty string when the artifact at `path` is exactly `task`'s shard of
-/// `task`'s study; an actionable reason otherwise.
+/// `task`'s study; an actionable reason otherwise. On success `wall_ms`
+/// (when given) receives the artifact's wall-time provenance (0 when the
+/// artifact carries none).
 std::string validate_artifact(const std::string& path,
-                              const CampaignTask& task) {
+                              const CampaignTask& task,
+                              double* wall_ms = nullptr) {
   study::ResultTable table;
   try {
     table = study::ResultTable::from_json_text(io::read_file(path));
@@ -137,6 +146,7 @@ std::string validate_artifact(const std::string& path,
     return "artifact was produced by a different study spec (seed/params "
            "mismatch)";
   }
+  if (wall_ms != nullptr) *wall_ms = table.wall_time_ms;
   return {};
 }
 
@@ -214,8 +224,25 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
         "campaign: '" + cfg.dir + "' already holds a campaign — pass "
         "--resume to finish its gaps, or point --dir at a fresh directory");
   }
-  if (have_manifest) validate_manifest(queue.manifest_path(), studies,
-                                       cfg.shards);
+  // Wall times a previous coordinator recorded must survive --resume even
+  // when the reused artifact itself carries no provenance (the promote
+  // path records coordinator-measured time for exactly those artifacts).
+  std::map<std::string, double> prior_wall_ms;
+  if (have_manifest) {
+    const io::Json doc = io::Json::parse(io::read_file(queue.manifest_path()));
+    validate_manifest(doc, queue.manifest_path(), studies, cfg.shards);
+    for (const io::Json& task : doc.at("tasks").as_array()) {
+      const io::Json* wall = task.find("wall_time_ms");
+      if (wall != nullptr && wall->is_number() && wall->as_double() > 0.0) {
+        prior_wall_ms[task.at("id").as_string()] = wall->as_double();
+      }
+    }
+  }
+  const auto fall_back_to_prior_wall = [&](TaskState& st) {
+    if (st.wall_ms > 0.0) return;
+    const auto it = prior_wall_ms.find(st.task.id);
+    if (it != prior_wall_ms.end()) st.wall_ms = it->second;
+  };
 
   std::vector<TaskState> states;
   states.reserve(tasks.size());
@@ -233,8 +260,9 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
     }
     if (fs::exists(queue.artifact_path(id))) {
       const std::string err = validate_artifact(queue.artifact_path(id),
-                                                st.task);
+                                                st.task, &st.wall_ms);
       if (err.empty()) {
+        fall_back_to_prior_wall(st);
         st.status = TaskState::Status::kDone;
         ++report.reused;
         event(cfg, "task %s: reusing existing artifact", id.c_str());
@@ -276,8 +304,8 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
       for (const auto& st : states) {
         if (st.task.study_index != k) continue;
         ++count;
-        shards.push_back(study::ResultTable::from_json_text(
-            io::read_file(queue.artifact_path(st.task.id))));
+        shards.push_back(
+            study::ResultTable::load(queue.artifact_path(st.task.id)));
       }
       const auto merged = study::merge_result_tables(std::move(shards));
       WorkQueue::atomic_write(out, merged.canonical_text());
@@ -352,11 +380,21 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
       } else if (!fs::exists(part)) {
         err = "worker exited 0 but wrote no artifact";
       } else {
-        err = validate_artifact(part, st.task);
+        double wall_ms = 0.0;
+        err = validate_artifact(part, st.task, &wall_ms);
         if (err.empty()) {
           std::error_code ec;
           fs::rename(part, queue.artifact_path(id), ec);
-          if (ec) err = "cannot promote artifact: " + ec.message();
+          if (ec) {
+            err = "cannot promote artifact: " + ec.message();
+          } else {
+            st.wall_ms =
+                wall_ms > 0.0
+                    ? wall_ms
+                    : std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - it->started)
+                          .count();
+          }
         }
       }
 
@@ -410,7 +448,9 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
           !fs::exists(queue.artifact_path(id))) {
         continue;
       }
-      if (validate_artifact(queue.artifact_path(id), st.task).empty()) {
+      if (validate_artifact(queue.artifact_path(id), st.task, &st.wall_ms)
+              .empty()) {
+        fall_back_to_prior_wall(st);
         st.status = TaskState::Status::kDone;
         progressed = true;
         event(cfg, "task %s: completed externally", id.c_str());

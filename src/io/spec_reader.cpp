@@ -1,0 +1,90 @@
+#include "src/io/spec_reader.h"
+
+#include <algorithm>
+
+namespace varbench::io {
+
+ObjectReader::ObjectReader(const Json& obj, std::string_view domain,
+                           std::string_view where)
+    : obj_{obj}, domain_{domain}, where_{where} {
+  (void)obj_.as_object();  // type check up front
+}
+
+const Json* ObjectReader::find(std::string_view key) {
+  seen_.emplace_back(key);
+  return obj_.find(key);
+}
+
+const Json& ObjectReader::at(std::string_view key) {
+  const Json* v = find(key);
+  if (v == nullptr) {
+    throw JsonError(domain_ + ": missing required key '" + std::string{key} +
+                    "' in " + where_);
+  }
+  return *v;
+}
+
+void ObjectReader::reject_unknown_keys() const {
+  for (const auto& [key, value] : obj_.as_object()) {
+    if (std::find(seen_.begin(), seen_.end(), key) != seen_.end()) continue;
+    std::string expected;
+    for (const auto& s : seen_) {
+      if (!expected.empty()) expected += ", ";
+      expected += "'" + s + "'";
+    }
+    throw JsonError(domain_ + ": unknown key '" + key + "' in " + where_ +
+                    " (expected one of: " + expected + ")");
+  }
+}
+
+std::string read_string(const Json& v, std::string_view domain,
+                        std::string_view key) {
+  if (!v.is_string()) {
+    throw JsonError(std::string{domain} + ": '" + std::string{key} +
+                    "' must be a string, got " + v.dump());
+  }
+  return v.as_string();
+}
+
+double read_double(const Json& v, std::string_view domain,
+                   std::string_view key) {
+  if (!v.is_number()) {
+    throw JsonError(std::string{domain} + ": '" + std::string{key} +
+                    "' must be a number, got " + v.dump());
+  }
+  return v.as_double();
+}
+
+std::size_t read_size(const Json& v, std::string_view domain,
+                      std::string_view key) {
+  try {
+    return static_cast<std::size_t>(v.as_uint64());
+  } catch (const JsonError&) {
+    throw JsonError(std::string{domain} + ": '" + std::string{key} +
+                    "' must be a non-negative integer, got " + v.dump());
+  }
+}
+
+std::vector<std::string> read_string_array(const Json& v,
+                                           std::string_view domain,
+                                           std::string_view key) {
+  std::vector<std::string> out;
+  for (const Json& item : v.as_array()) {
+    out.push_back(read_string(item, domain, key));
+  }
+  return out;
+}
+
+Json string_array(const std::vector<std::string>& v) {
+  Json arr = Json::array();
+  for (const auto& s : v) arr.push_back(Json{s});
+  return arr;
+}
+
+Json double_array(const std::vector<double>& v) {
+  Json arr = Json::array();
+  for (const double d : v) arr.push_back(Json{d});
+  return arr;
+}
+
+}  // namespace varbench::io

@@ -1,0 +1,51 @@
+// Strict reading of spec-style JSON objects, shared by every serializable
+// spec type (StudySpec, ReportSpec, ...): every key a parser never asked
+// for is an error, so typos fail loudly instead of silently running with
+// defaults, and type mismatches throw with the key name and the offending
+// value.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/io/json.h"
+
+namespace varbench::io {
+
+/// Tracks which keys of an object were consumed; call reject_unknown_keys()
+/// after all reads. `domain` prefixes every error message ("spec", "report
+/// spec"); `where` names the object being read ("the spec", "'params'").
+class ObjectReader {
+ public:
+  ObjectReader(const Json& obj, std::string_view domain,
+               std::string_view where);
+
+  [[nodiscard]] const Json* find(std::string_view key);
+  /// Member value; throws JsonError when absent.
+  [[nodiscard]] const Json& at(std::string_view key);
+  /// Call after all reads: any key never asked for is unknown.
+  void reject_unknown_keys() const;
+
+ private:
+  const Json& obj_;
+  std::string domain_;
+  std::string where_;
+  std::vector<std::string> seen_;
+};
+
+/// Typed scalar readers with actionable, domain-prefixed errors.
+[[nodiscard]] std::string read_string(const Json& v, std::string_view domain,
+                                      std::string_view key);
+[[nodiscard]] double read_double(const Json& v, std::string_view domain,
+                                 std::string_view key);
+[[nodiscard]] std::size_t read_size(const Json& v, std::string_view domain,
+                                    std::string_view key);
+[[nodiscard]] std::vector<std::string> read_string_array(
+    const Json& v, std::string_view domain, std::string_view key);
+
+/// Array builders for the symmetric serialization path.
+[[nodiscard]] Json string_array(const std::vector<std::string>& v);
+[[nodiscard]] Json double_array(const std::vector<double>& v);
+
+}  // namespace varbench::io

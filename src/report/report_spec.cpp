@@ -1,0 +1,150 @@
+#include "src/report/report_spec.h"
+
+#include "src/io/spec_reader.h"
+
+namespace varbench::report {
+
+namespace {
+
+constexpr std::string_view kReportSpecSchema = "varbench.report_spec.v1";
+
+constexpr std::string_view kKnownEstimators[] = {
+    "mean", "std", "min", "max", "median", "ci", "normality"};
+
+/// Thin shims over the shared strict reader (src/io/spec_reader.h) binding
+/// this file's error domain.
+constexpr std::string_view kDomain = "report spec";
+
+using io::string_array;
+
+std::string read_string(const io::Json& v, std::string_view key) {
+  return io::read_string(v, kDomain, key);
+}
+
+double read_double(const io::Json& v, std::string_view key) {
+  return io::read_double(v, kDomain, key);
+}
+
+std::size_t read_size(const io::Json& v, std::string_view key) {
+  return io::read_size(v, kDomain, key);
+}
+
+std::vector<std::string> read_string_array(const io::Json& v,
+                                           std::string_view key) {
+  return io::read_string_array(v, kDomain, key);
+}
+
+void validate(const ReportSpec& spec) {
+  if (spec.estimators.empty()) {
+    throw io::JsonError("report spec: 'estimators' must not be empty");
+  }
+  for (const auto& name : spec.estimators) {
+    bool known = false;
+    for (const std::string_view k : kKnownEstimators) known |= name == k;
+    if (!known) {
+      std::string list;
+      for (const std::string_view k : kKnownEstimators) {
+        if (!list.empty()) list += ", ";
+        list += "'" + std::string{k} + "'";
+      }
+      throw io::JsonError("report spec: unknown estimator '" + name +
+                          "' (known: " + list + ")");
+    }
+  }
+  if (spec.ci_method != "bca" && spec.ci_method != "percentile") {
+    throw io::JsonError("report spec: 'ci_method' must be 'bca' or "
+                        "'percentile', got '" + spec.ci_method + "'");
+  }
+  if (!(spec.confidence > 0.0) || !(spec.confidence < 1.0)) {
+    throw io::JsonError("report spec: 'confidence' must be in (0, 1), got " +
+                        std::to_string(spec.confidence));
+  }
+  if (spec.resamples == 0) {
+    throw io::JsonError("report spec: 'resamples' must be >= 1");
+  }
+  if (spec.permutations == 0) {
+    throw io::JsonError("report spec: 'permutations' must be >= 1");
+  }
+  if (!(spec.gamma > 0.5) || !(spec.gamma < 1.0)) {
+    throw io::JsonError("report spec: 'gamma' must be in (0.5, 1), got " +
+                        std::to_string(spec.gamma));
+  }
+  if (spec.format != "text" && spec.format != "markdown" &&
+      spec.format != "csv" && spec.format != "json") {
+    throw io::JsonError("report spec: 'format' must be 'text', 'markdown', "
+                        "'csv', or 'json', got '" + spec.format + "'");
+  }
+}
+
+}  // namespace
+
+io::Json ReportSpec::to_json() const {
+  io::Json doc = io::Json::object();
+  doc.set("schema", io::Json{kReportSpecSchema});
+  doc.set("columns", string_array(columns));
+  doc.set("group_by", io::Json{group_by});
+  doc.set("estimators", string_array(estimators));
+  doc.set("ci_method", io::Json{ci_method});
+  doc.set("confidence", io::Json{confidence});
+  doc.set("resamples", io::Json{resamples});
+  doc.set("permutations", io::Json{permutations});
+  doc.set("gamma", io::Json{gamma});
+  doc.set("seed", io::Json{seed});
+  doc.set("format", io::Json{format});
+  return doc;
+}
+
+std::string ReportSpec::to_json_text() const { return to_json().dump(2) + "\n"; }
+
+ReportSpec ReportSpec::from_json(const io::Json& doc) {
+  if (!doc.is_object()) {
+    throw io::JsonError("report spec: document must be a JSON object, got " +
+                        std::string{io::to_string(doc.type())});
+  }
+  io::ObjectReader r{doc, kDomain, "the report spec"};
+  if (const auto* schema = r.find("schema")) {
+    const std::string s = read_string(*schema, "schema");
+    if (s != kReportSpecSchema) {
+      throw io::JsonError("report spec: unsupported schema '" + s +
+                          "' (this build reads '" +
+                          std::string{kReportSpecSchema} + "')");
+    }
+  }
+  ReportSpec spec;
+  if (const auto* v = r.find("columns")) {
+    spec.columns = read_string_array(*v, "columns");
+  }
+  if (const auto* v = r.find("group_by")) {
+    spec.group_by = read_string(*v, "group_by");
+  }
+  if (const auto* v = r.find("estimators")) {
+    spec.estimators = read_string_array(*v, "estimators");
+  }
+  if (const auto* v = r.find("ci_method")) {
+    spec.ci_method = read_string(*v, "ci_method");
+  }
+  if (const auto* v = r.find("confidence")) {
+    spec.confidence = read_double(*v, "confidence");
+  }
+  if (const auto* v = r.find("resamples")) {
+    spec.resamples = read_size(*v, "resamples");
+  }
+  if (const auto* v = r.find("permutations")) {
+    spec.permutations = read_size(*v, "permutations");
+  }
+  if (const auto* v = r.find("gamma")) spec.gamma = read_double(*v, "gamma");
+  if (const auto* v = r.find("seed")) spec.seed = read_size(*v, "seed");
+  if (const auto* v = r.find("format")) {
+    spec.format = read_string(*v, "format");
+    if (spec.format == "md") spec.format = "markdown";  // accepted alias
+  }
+  r.reject_unknown_keys();
+  validate(spec);
+  return spec;
+}
+
+ReportSpec ReportSpec::from_json_text(std::string_view text) {
+  return from_json(io::Json::parse(text));
+}
+
+}  // namespace varbench::report

@@ -1,0 +1,56 @@
+// Analysis-as-data: a ReportSpec is the complete, serializable description
+// of one report over a ResultTable artifact — which columns to summarize,
+// how to group rows, which estimators to render, and how to compute the
+// uncertainty (CI method / level / resamples). Specs round-trip losslessly
+// through JSON in the same style as StudySpec (unknown keys rejected, every
+// field optional with documented defaults), so a report is reproducible
+// from the artifact plus the spec alone (docs/reporting.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/io/json.h"
+
+namespace varbench::report {
+
+struct ReportSpec {
+  /// Data columns to summarize. Empty → every numeric column of the table
+  /// except the index columns ("seq", "rep", "sim") and the group-by key.
+  std::vector<std::string> columns;
+  /// Column whose values partition the rows into groups (e.g. "source" of
+  /// a variance table, "estimator" of an estimator sweep). Empty → the
+  /// whole table is one group. Exactly two groups additionally get the
+  /// P(A>B) / permutation-test comparison per summarized column.
+  std::string group_by;
+  /// Which statistics to render, in this order. Known names: "mean",
+  /// "std", "min", "max", "median", "ci" (bootstrap CI of the mean),
+  /// "normality" (Shapiro–Wilk W and p).
+  std::vector<std::string> estimators{"mean",   "std", "min",      "max",
+                                      "median", "ci",  "normality"};
+  std::string ci_method = "bca";  // "bca" | "percentile"
+  double confidence = 0.95;       // CI level (1 - alpha)
+  std::size_t resamples = 1000;   // bootstrap resamples per CI
+  std::size_t permutations = 10000;  // permutation-test reshuffles
+  double gamma = 0.75;  // P(A>B) meaningfulness threshold (paper §5)
+  /// Master seed of the report's own randomness (bootstrap + permutation
+  /// streams). 0 → derive from the artifact's seed, so the same artifact
+  /// always yields the same report bytes with no spec at all.
+  std::uint64_t seed = 0;
+  std::string format = "text";  // "text" | "markdown" | "csv" | "json"
+
+  friend bool operator==(const ReportSpec&, const ReportSpec&) = default;
+
+  [[nodiscard]] io::Json to_json() const;
+  [[nodiscard]] std::string to_json_text() const;  // pretty, '\n'-terminated
+
+  /// Parse + validate. Throws io::JsonError with an actionable message on
+  /// unknown keys, unknown estimator/method/format names, or out-of-range
+  /// values. An empty object {} is a valid spec (all defaults).
+  [[nodiscard]] static ReportSpec from_json(const io::Json& doc);
+  [[nodiscard]] static ReportSpec from_json_text(std::string_view text);
+};
+
+}  // namespace varbench::report

@@ -40,6 +40,26 @@ struct ConfidenceInterval {
     const std::function<double(std::span<const double>)>& statistic,
     rngx::Rng& rng, std::size_t num_resamples = 1000, double alpha = 0.05);
 
+/// Bias-corrected and accelerated (BCa) bootstrap CI (Efron 1987) of an
+/// arbitrary statistic of one sample. The percentile pair is adjusted by a
+/// bias correction z0 (from the fraction of resampled statistics below the
+/// observed one) and an acceleration constant (from the jackknife skewness
+/// of the statistic), making the interval second-order accurate for skewed
+/// statistics where the plain percentile interval is off-center.
+///
+/// Draws the same resamples as percentile_bootstrap_ci for the same `rng`
+/// state (only the quantile levels differ) and has the same determinism
+/// contract: bit-identical for every `ctx.num_threads`; both the resampling
+/// loop and the jackknife fan out through `ctx`.
+[[nodiscard]] ConfidenceInterval bca_bootstrap_ci(
+    const exec::ExecContext& ctx, std::span<const double> x,
+    const std::function<double(std::span<const double>)>& statistic,
+    rngx::Rng& rng, std::size_t num_resamples = 1000, double alpha = 0.05);
+[[nodiscard]] ConfidenceInterval bca_bootstrap_ci(
+    std::span<const double> x,
+    const std::function<double(std::span<const double>)>& statistic,
+    rngx::Rng& rng, std::size_t num_resamples = 1000, double alpha = 0.05);
+
 /// Percentile-bootstrap CI of a statistic of *paired* samples (a_i, b_i):
 /// pairs are resampled together, preserving the pairing (Appendix C.5).
 /// Same determinism contract as percentile_bootstrap_ci.

@@ -165,6 +165,15 @@ ResultTable ResultTable::from_json_text(std::string_view text) {
   return from_json(io::Json::parse(text));
 }
 
+ResultTable ResultTable::load(const std::string& path) {
+  const std::string text = io::read_file(path);  // names the path itself
+  try {
+    return from_json_text(text);
+  } catch (const io::JsonError& e) {
+    throw io::JsonError("artifact '" + path + "': " + e.what());
+  }
+}
+
 ResultTable merge_result_tables(std::vector<ResultTable> shards) {
   if (shards.empty()) {
     throw io::JsonError("merge: no shard tables given");

@@ -74,6 +74,12 @@ class ResultTable {
 
   [[nodiscard]] static ResultTable from_json(const io::Json& doc);
   [[nodiscard]] static ResultTable from_json_text(std::string_view text);
+
+  /// Read + parse + validate an artifact file in one step. Every failure —
+  /// unreadable file, malformed JSON, unknown schema, shape violation — is
+  /// an io::JsonError naming the path, so batch consumers (report, merge,
+  /// campaign) can say exactly which file is bad.
+  [[nodiscard]] static ResultTable load(const std::string& path);
 };
 
 /// Join shard tables into the exact unsharded table: validates that all

@@ -3,6 +3,8 @@
 #include <charconv>
 #include <cmath>
 
+#include "src/io/spec_reader.h"
+
 namespace varbench::study {
 
 namespace {
@@ -29,100 +31,28 @@ std::string known_kinds() {
   return out;
 }
 
-/// Tracks which keys of an object were consumed, so typos fail loudly
-/// instead of silently running with defaults.
-class ObjectReader {
- public:
-  ObjectReader(const io::Json& obj, std::string_view where)
-      : obj_{obj}, where_{where} {
-    (void)obj_.as_object();  // type check up front
-  }
+/// Thin shims over the shared strict reader (src/io/spec_reader.h) binding
+/// this file's error domain.
+constexpr std::string_view kDomain = "spec";
 
-  [[nodiscard]] const io::Json* find(std::string_view key) {
-    seen_.emplace_back(key);
-    return obj_.find(key);
-  }
-
-  [[nodiscard]] const io::Json& at(std::string_view key) {
-    const io::Json* v = find(key);
-    if (v == nullptr) {
-      throw io::JsonError("spec: missing required key '" + std::string{key} +
-                          "' in " + std::string{where_});
-    }
-    return *v;
-  }
-
-  /// Call after all reads: any key never asked for is unknown.
-  void reject_unknown_keys() const {
-    for (const auto& [key, value] : obj_.as_object()) {
-      bool known = false;
-      for (const auto& s : seen_) {
-        if (s == key) {
-          known = true;
-          break;
-        }
-      }
-      if (!known) {
-        std::string expected;
-        for (const auto& s : seen_) {
-          if (!expected.empty()) expected += ", ";
-          expected += "'" + s + "'";
-        }
-        throw io::JsonError("spec: unknown key '" + key + "' in " +
-                            std::string{where_} + " (expected one of: " +
-                            expected + ")");
-      }
-    }
-  }
-
- private:
-  const io::Json& obj_;
-  std::string_view where_;
-  std::vector<std::string> seen_;
-};
+using io::double_array;
+using io::string_array;
 
 std::size_t read_size(const io::Json& v, std::string_view key) {
-  try {
-    return static_cast<std::size_t>(v.as_uint64());
-  } catch (const io::JsonError&) {
-    throw io::JsonError("spec: '" + std::string{key} +
-                        "' must be a non-negative integer, got " + v.dump());
-  }
+  return io::read_size(v, kDomain, key);
 }
 
 double read_double(const io::Json& v, std::string_view key) {
-  if (!v.is_number()) {
-    throw io::JsonError("spec: '" + std::string{key} + "' must be a number, " +
-                        "got " + v.dump());
-  }
-  return v.as_double();
+  return io::read_double(v, kDomain, key);
 }
 
 std::string read_string(const io::Json& v, std::string_view key) {
-  if (!v.is_string()) {
-    throw io::JsonError("spec: '" + std::string{key} + "' must be a string, " +
-                        "got " + v.dump());
-  }
-  return v.as_string();
+  return io::read_string(v, kDomain, key);
 }
 
 std::vector<std::string> read_string_array(const io::Json& v,
                                            std::string_view key) {
-  std::vector<std::string> out;
-  for (const io::Json& item : v.as_array()) out.push_back(read_string(item, key));
-  return out;
-}
-
-io::Json string_array(const std::vector<std::string>& v) {
-  io::Json arr = io::Json::array();
-  for (const auto& s : v) arr.push_back(io::Json{s});
-  return arr;
-}
-
-io::Json double_array(const std::vector<double>& v) {
-  io::Json arr = io::Json::array();
-  for (const double d : v) arr.push_back(io::Json{d});
-  return arr;
+  return io::read_string_array(v, kDomain, key);
 }
 
 io::Json params_to_json(const StudySpec& spec) {
@@ -161,7 +91,7 @@ io::Json params_to_json(const StudySpec& spec) {
 }
 
 void params_from_json(StudySpec& spec, const io::Json& p) {
-  ObjectReader r{p, "'params'"};
+  io::ObjectReader r{p, kDomain, "'params'"};
   switch (spec.kind) {
     case StudyKind::kVariance:
       if (const auto* v = r.find("hpo_algorithms")) {
@@ -315,7 +245,7 @@ StudySpec StudySpec::from_json(const io::Json& doc) {
     throw io::JsonError("spec: document must be a JSON object, got " +
                         std::string{io::to_string(doc.type())});
   }
-  ObjectReader r{doc, "the spec"};
+  io::ObjectReader r{doc, kDomain, "the spec"};
   if (const auto* schema = r.find("schema")) {
     const std::string& s = read_string(*schema, "schema");
     if (s != kSpecSchema) {
@@ -340,7 +270,7 @@ StudySpec StudySpec::from_json(const io::Json& doc) {
     spec.threads = read_size(*v, "threads");
   }
   if (const auto* v = r.find("shard")) {
-    ObjectReader s{*v, "'shard'"};
+    io::ObjectReader s{*v, kDomain, "'shard'"};
     spec.shard.index = read_size(s.at("index"), "shard.index");
     spec.shard.count = read_size(s.at("count"), "shard.count");
     s.reject_unknown_keys();

@@ -18,6 +18,8 @@
 //   varbench::io          dependency-free JSON for specs and artifacts
 //   varbench::study       experiments-as-data: StudySpec, ResultTable,
 //                         run_study dispatch, shard/merge
+//   varbench::report      consumer-side analysis: every statistic derivable
+//                         from any ResultTable, rendered text/md/csv/json
 #pragma once
 
 #include "src/casestudies/calibration.h"      // IWYU pragma: export
@@ -50,6 +52,10 @@
 #include "src/ml/synthetic.h"                 // IWYU pragma: export
 #include "src/ml/train.h"                     // IWYU pragma: export
 #include "src/ml/trainer.h"                   // IWYU pragma: export
+#include "src/report/artifact.h"              // IWYU pragma: export
+#include "src/report/render.h"                // IWYU pragma: export
+#include "src/report/report_spec.h"           // IWYU pragma: export
+#include "src/report/summary.h"               // IWYU pragma: export
 #include "src/rngx/rng.h"                     // IWYU pragma: export
 #include "src/rngx/variation.h"               // IWYU pragma: export
 #include "src/stats/bootstrap.h"              // IWYU pragma: export

@@ -204,11 +204,13 @@ TEST(Campaign, MergedArtifactMatchesUnshardedRunByteForByte) {
   EXPECT_EQ(report.reused, 0u);
   EXPECT_EQ(io::read_file(merged_path_of(report)), unsharded_canonical(spec));
 
-  // The manifest records every task as done.
+  // The manifest records every task as done, with its wall-time provenance
+  // (the data future autoscaling hints and `varbench report <dir>` read).
   const io::Json manifest =
       io::Json::parse(io::read_file(WorkQueue{dir.str()}.manifest_path()));
   for (const io::Json& task : manifest.at("tasks").as_array()) {
     EXPECT_EQ(task.at("status").as_string(), "done");
+    EXPECT_GT(task.at("wall_time_ms").as_double(), 0.0);
   }
 }
 

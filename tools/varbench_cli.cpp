@@ -9,6 +9,8 @@
 //                  [--csv merged.csv]
 //   varbench campaign <spec.json> --dir <state-dir> [--shards N]
 //                  [--workers K] [--resume] [--max-retries R]
+//   varbench report <artifact.json | dir> [--spec r.json] [--format F]
+//                  [--compare other.json] [--threads N] [--out file]
 //
 // `run` executes a serialized StudySpec and writes the canonical
 // ResultTable artifact; `--shard i/N` computes slice i of N (bit-identical
@@ -16,6 +18,9 @@
 // `merge` reproduces the unsharded artifact exactly). `campaign` fans a
 // spec (or a JSON array of specs) out over a pool of `varbench run` worker
 // subprocesses through a resumable state directory (docs/campaigns.md).
+// `report` derives every summary statistic (mean/std, bootstrap CIs,
+// normality, P(A>B) with --compare) from any artifact — no producing spec
+// needed — and renders it as text/markdown/CSV/JSON (docs/reporting.md).
 //
 // The legacy subcommands are thin spec builders over the same engine and
 // print the same numbers they always did:
@@ -44,6 +49,10 @@
 #include "src/campaign/campaign.h"
 #include "src/campaign/subprocess.h"
 #include "src/io/json.h"
+#include "src/report/artifact.h"
+#include "src/report/render.h"
+#include "src/report/report_spec.h"
+#include "src/report/summary.h"
 #include "src/study/result_table.h"
 #include "src/study/study_runner.h"
 #include "src/study/study_spec.h"
@@ -285,8 +294,7 @@ int cmd_merge(const Args& a) {
   std::vector<study::ResultTable> shards;
   for (const auto& operand : a.positional) {
     for (const auto& path : expand_shard_paths(operand)) {
-      shards.push_back(
-          study::ResultTable::from_json_text(io::read_file(path)));
+      shards.push_back(study::ResultTable::load(path));
     }
   }
   const auto merged = study::merge_result_tables(std::move(shards));
@@ -363,6 +371,75 @@ int cmd_campaign(const Args& a) {
     std::fprintf(stderr, "error: %s\n", failure.c_str());
   }
   return report.ok() ? 0 : 1;
+}
+
+int cmd_report(const Args& a) {
+  require_known_flags(a, {"spec", "set", "format", "compare", "threads",
+                          "out"});
+  if (a.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: varbench report <artifact.json | dir> "
+                 "[--spec r.json] [--set key=val ...] "
+                 "[--format text|markdown|csv|json] "
+                 "[--compare other.json] [--threads N] [--out file]\n"
+                 "renders every statistic derivable from a ResultTable "
+                 "artifact; a directory reports each study it holds "
+                 "(docs/reporting.md)\n");
+    return 2;
+  }
+  io::Json spec_doc = io::Json::object();
+  if (const std::string* path = a.find("spec")) {
+    spec_doc = io::Json::parse(io::read_file(*path));
+  }
+  for (const std::string& assignment : a.all("set")) {
+    study::apply_override(spec_doc, assignment);
+  }
+  if (const std::string* format = a.find("format")) {
+    study::apply_override(spec_doc, "format", "\"" + *format + "\"");
+  }
+  const auto spec = report::ReportSpec::from_json(spec_doc);
+  const auto format = report::format_from_string(spec.format);
+  // Threads only schedule the bootstrap/permutation loops; the rendered
+  // bytes are invariant (docs/determinism.md).
+  const exec::ExecContext ctx{opt_size(a, "threads", 1)};
+
+  const std::string& target = a.positional[0];
+  std::vector<report::Report> reports;
+  const bool is_dir = std::filesystem::is_directory(target);
+  if (is_dir) {
+    if (a.find("compare") != nullptr) {
+      throw std::invalid_argument(
+          "report: --compare works on single artifacts, not directories");
+    }
+    auto dir = report::load_artifact_dir(target);
+    for (const auto& artifact : dir.studies) {
+      reports.push_back(report::summarize(ctx, artifact, spec));
+    }
+    // Wall-time totals ride on the last study's report.
+    if (dir.provenance.has_value() && !reports.empty()) {
+      reports.back().provenance = std::move(dir.provenance);
+    }
+  } else {
+    const auto artifact = report::load_artifact(target);
+    if (const std::string* other = a.find("compare")) {
+      reports.push_back(report::summarize_compare(
+          ctx, artifact, report::load_artifact(*other), spec));
+    } else {
+      reports.push_back(report::summarize(ctx, artifact, spec));
+    }
+  }
+  // A directory always renders as a multi-report document (a JSON array),
+  // so consumers see one stable shape however many studies it holds.
+  const std::string rendered = is_dir
+                                   ? report::render_all(reports, format)
+                                   : report::render(reports.front(), format);
+  if (const std::string* out = a.find("out")) {
+    io::write_file(*out, rendered);
+    std::fprintf(stderr, "wrote %s\n", out->c_str());
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return 0;
 }
 
 // ----------------------------------------------------- legacy subcommands
@@ -495,6 +572,9 @@ void usage() {
       "          [--csv merged.csv]\n"
       "  campaign <spec.json> --dir <state-dir> [--shards N] [--workers K]\n"
       "          [--resume] [--max-retries R] (docs/campaigns.md)\n"
+      "  report  <artifact.json | dir> [--spec r.json] [--set key=val ...]\n"
+      "          [--format text|markdown|csv|json] [--compare other.json]\n"
+      "          [--threads N] [--out file] (docs/reporting.md)\n"
       "legacy spec builders (same numbers as always; add --dump-spec f.json\n"
       "to write the equivalent spec instead of running):\n"
       "  tasks                       list case studies\n"
@@ -522,6 +602,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "merge") return cmd_merge(args);
     if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "report") return cmd_report(args);
     if (cmd == "tasks") return cmd_tasks(args);
     if (cmd == "plan") return cmd_plan(args);
     if (cmd == "study") return cmd_study(args);
