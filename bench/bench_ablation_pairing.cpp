@@ -1,76 +1,12 @@
 // Ablation (Appendix C.2) — pairing: running A and B under the SAME ξ per
 // run marginalizes the shared variance components and detects smaller
 // differences at the same sample size.
-#include <cstdio>
-#include <vector>
-
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "ablation_pairing"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
-
-namespace {
-
-using namespace varbench;
-
-// Simulated paired measurements: both algorithms share a per-run split
-// effect (the dominant ξO component); A has a true mean edge.
-void simulate_pair(double edge, double shared_std, double indep_std,
-                   std::size_t k, rngx::Rng& rng, std::vector<double>& a,
-                   std::vector<double>& b, bool paired) {
-  a.resize(k);
-  b.resize(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    const double shared_a = rng.normal(0.0, shared_std);
-    const double shared_b = paired ? shared_a : rng.normal(0.0, shared_std);
-    a[i] = 0.8 + edge + shared_a + rng.normal(0.0, indep_std);
-    b[i] = 0.8 + shared_b + rng.normal(0.0, indep_std);
-  }
-}
-
-}  // namespace
 
 int main() {
-  benchutil::header(
-      "Ablation (App. C.2): paired vs unpaired comparisons",
-      "pairing marginalizes shared variance: sigma(A-B) <= sigma_A+sigma_B, "
-      "so smaller differences become detectable at the same N");
-  const std::size_t sims = benchutil::env_size(
-      "VARBENCH_REPS", benchutil::env_flag("VARBENCH_FULL") ? 500 : 150);
-  constexpr double shared_std = 0.02;  // split-driven component
-  constexpr double indep_std = 0.005;  // seed-driven component
-  constexpr std::size_t k = 29;        // Noether's N at gamma=0.75
-
-  std::printf("\n  %-12s %18s %18s\n", "true edge", "paired detection",
-              "unpaired detection");
-  rngx::Rng rng{0xBA1D};
-  std::vector<double> a;
-  std::vector<double> b;
-  for (const double edge : {0.0, 0.005, 0.01, 0.02, 0.04}) {
-    std::size_t paired_hits = 0;
-    std::size_t unpaired_hits = 0;
-    for (std::size_t s = 0; s < sims; ++s) {
-      simulate_pair(edge, shared_std, indep_std, k, rng, a, b, true);
-      auto r1 = stats::test_probability_of_outperforming(a, b, rng, 0.75, 200);
-      if (r1.conclusion ==
-          stats::ComparisonConclusion::kSignificantAndMeaningful) {
-        ++paired_hits;
-      }
-      simulate_pair(edge, shared_std, indep_std, k, rng, a, b, false);
-      auto r2 = stats::test_probability_of_outperforming(a, b, rng, 0.75, 200);
-      if (r2.conclusion ==
-          stats::ComparisonConclusion::kSignificantAndMeaningful) {
-        ++unpaired_hits;
-      }
-    }
-    std::printf("  %-12.3f %17.0f%% %17.0f%%\n", edge,
-                100.0 * static_cast<double>(paired_hits) / sims,
-                100.0 * static_cast<double>(unpaired_hits) / sims);
-  }
-  std::printf(
-      "\nReading: at edge=0 both stay near the nominal false-positive rate;\n"
-      "for small true edges (0.005-0.02, below the shared-noise scale) the\n"
-      "paired design detects far more often — the variance of A-B drops\n"
-      "from sqrt(2*(%.3f^2+%.3f^2)) to sqrt(2*%.3f^2) when pairing removes\n"
-      "the shared split effect.\n",
-      shared_std, indep_std, indep_std);
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kAblationPairing);
 }

@@ -1,136 +1,12 @@
 // Ablation (Appendix B) — why out-of-bootstrap instead of cross-validation
-// or a fixed held-out set?
-//
-// Because the data pools are synthetic, the TRUE expected performance is
-// measurable by drawing fresh data from the generating distribution D. We
-// compare splitting strategies on:
-//   1. the spread of the k-split mean estimate around the fresh-data truth,
-//   2. the correlation between fold measures (CV's folds share data),
-//   3. flexibility: OOB supports any (train, test) size, CV does not.
-#include <cstdio>
-#include <vector>
-
+// or a fixed held-out set? Synthetic pools make the TRUE expected
+// performance measurable by fresh draws from the generating distribution.
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "ablation_splitters"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
-
-namespace {
-
-using namespace varbench;
-
-struct StrategyStats {
-  double mean = 0.0;
-  double std_of_mean = 0.0;  // across repetitions of the whole procedure
-  double avg_measure_corr = 0.0;
-};
-
-}  // namespace
 
 int main() {
-  benchutil::header(
-      "Ablation (App. B): out-of-bootstrap vs cross-validation vs fixed split",
-      "bootstrap-based splitting gives flexible sample sizes and avoids the "
-      "correlation-driven variance underestimation of cross-validation");
-  const double scale = benchutil::scale();
-  const std::size_t reps = benchutil::env_size(
-      "VARBENCH_REPS", benchutil::env_flag("VARBENCH_FULL") ? 50 : 12);
-  constexpr std::size_t k = 5;  // folds / splits per procedure
-
-  // A generator-backed task: fresh draws from D give the ground truth.
-  ml::GaussianMixtureConfig gen;
-  gen.num_classes = 4;
-  gen.dim = 12;
-  gen.n = static_cast<std::size_t>(1200 * scale) + 300;
-  gen.class_sep = 2.2;
-  gen.label_noise = 0.05;
-  rngx::Rng pool_seed{0xB00};
-  const auto pool = ml::make_gaussian_mixture(gen, pool_seed);
-
-  ml::TrainConfig tcfg;
-  tcfg.model.hidden = {12};
-  tcfg.opt.learning_rate = 0.05;
-  tcfg.opt.momentum = 0.9;
-  tcfg.epochs = 8;
-  tcfg.batch_size = 32;
-
-  // Ground truth: train on the full pool, evaluate on a large fresh draw.
-  rngx::Rng fresh_rng{0xF00D};
-  auto fresh_cfg = gen;
-  fresh_cfg.n = 20000;
-  const auto fresh = ml::make_gaussian_mixture(fresh_cfg, fresh_rng);
-  const rngx::VariationSeeds base_seeds;
-  const auto truth_model = ml::train_mlp(pool, tcfg, base_seeds);
-  const double truth =
-      ml::evaluate_model(truth_model, fresh, ml::Metric::kAccuracy);
-  std::printf("\nground truth (fresh draws from D): accuracy = %.4f\n", truth);
-
-  auto run_strategy = [&](const char* name, auto&& make_measures) {
-    std::vector<double> means;
-    std::vector<double> corrs;
-    rngx::Rng master{rngx::derive_seed(0xAB1, name)};
-    for (std::size_t r = 0; r < reps; ++r) {
-      const std::vector<double> m = make_measures(master);
-      means.push_back(stats::mean(m));
-      // Average pairwise sample correlation proxy: variance of the mean vs
-      // the within-procedure variance (Eq. 7 inverted needs repetitions, so
-      // report within-procedure std here and the spread across reps below).
-      corrs.push_back(stats::stddev(m));
-    }
-    StrategyStats s;
-    s.mean = stats::mean(means);
-    s.std_of_mean = stats::stddev(means);
-    s.avg_measure_corr = stats::mean(corrs);
-    std::printf("  %-18s mean=%.4f  |mean-truth|=%.4f  std(mean)=%.4f  "
-                "within-std=%.4f\n",
-                name, s.mean, std::abs(s.mean - truth), s.std_of_mean,
-                s.avg_measure_corr);
-  };
-
-  benchutil::section("k=5 measures per procedure, repeated");
-  run_strategy("out_of_bootstrap", [&](rngx::Rng& master) {
-    const core::OutOfBootstrapSplitter splitter;
-    std::vector<double> out;
-    for (std::size_t i = 0; i < k; ++i) {
-      auto seeds = rngx::VariationSeeds::random(master);
-      auto rng = seeds.rng_for(rngx::VariationSource::kDataSplit);
-      const auto split = splitter.split(pool, rng);
-      const auto [train, test] = core::materialize(pool, split);
-      out.push_back(ml::evaluate_model(ml::train_mlp(train, tcfg, seeds), test,
-                                       ml::Metric::kAccuracy));
-    }
-    return out;
-  });
-  run_strategy("cross_validation", [&](rngx::Rng& master) {
-    auto fold_rng = master.split("cv");
-    const auto folds = core::cross_validation_folds(pool, k, fold_rng);
-    std::vector<double> out;
-    for (const auto& fold : folds) {
-      auto seeds = rngx::VariationSeeds::random(master);
-      const auto [train, test] = core::materialize(pool, fold);
-      out.push_back(ml::evaluate_model(ml::train_mlp(train, tcfg, seeds), test,
-                                       ml::Metric::kAccuracy));
-    }
-    return out;
-  });
-  run_strategy("fixed_holdout", [&](rngx::Rng& master) {
-    const core::FixedHoldoutSplitter splitter{0.8};
-    std::vector<double> out;
-    for (std::size_t i = 0; i < k; ++i) {
-      auto seeds = rngx::VariationSeeds::random(master);
-      auto rng = seeds.rng_for(rngx::VariationSource::kDataSplit);
-      const auto split = splitter.split(pool, rng);  // same split every time
-      const auto [train, test] = core::materialize(pool, split);
-      out.push_back(ml::evaluate_model(ml::train_mlp(train, tcfg, seeds), test,
-                                       ml::Metric::kAccuracy));
-    }
-    return out;
-  });
-
-  std::printf(
-      "\nReading: the fixed held-out set has the smallest *within*-procedure\n"
-      "spread (it never varies the test data) but its mean estimate carries\n"
-      "the bias of that one arbitrary split — exactly the paper's argument\n"
-      "for preferring multiple random splits (out-of-bootstrap) when the\n"
-      "goal is the expected performance on D. CV's folds overlap in train\n"
-      "data, correlating its measures; OOB supports any train/test sizes.\n");
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kAblationSplitters);
 }

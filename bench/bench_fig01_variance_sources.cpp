@@ -1,71 +1,11 @@
-// Figure 1 — Different sources of variation of the measured performance,
+// Figure 1 — different sources of variation of the measured performance,
 // as a fraction of the variance induced by bootstrapping the data.
-//
-// For each case study we randomize one ξ source at a time (200× in the
-// paper, VARBENCH_REPS here) with defaults for λ, plus independent HOpt
-// repetitions for the three tuning algorithms.
-#include <cstdio>
-#include <string>
-#include <vector>
-
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "fig01_variance_sources"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
-
-namespace {
-
-using namespace varbench;
-
-void run_task(const std::string& id, std::size_t reps, std::size_t hpo_reps,
-              std::size_t hpo_budget, study::ResultTable& table) {
-  const auto cs = casestudies::make_case_study(id, benchutil::scale());
-  core::VarianceStudyConfig cfg;
-  cfg.repetitions = reps;
-  cfg.hpo_algorithms = {"noisy_grid_search", "random_search", "bayes_opt"};
-  cfg.hpo_repetitions = hpo_reps;
-  cfg.hpo_budget = hpo_budget;
-  cfg.include_numerical_noise = true;
-  rngx::Rng master{rngx::derive_seed(42, id)};
-  const auto result =
-      core::run_variance_study(*cs.pipeline, *cs.pool, *cs.splitter, cfg,
-                               master);
-  const double boot = result.bootstrap_std();
-  std::printf("\n%-18s (%s, metric=%s)\n", cs.paper_task.c_str(), id.c_str(),
-              std::string(ml::to_string(cs.pipeline->metric())).c_str());
-  std::printf("  %-22s %10s %10s %14s\n", "source", "mean", "std",
-              "std/bootstrap");
-  for (const auto& row : result.rows) {
-    std::printf("  %-22s %10.4f %10.4f %14.2f\n", row.label.c_str(), row.mean,
-                row.stddev, boot > 0.0 ? row.stddev / boot : 0.0);
-    for (std::size_t rep = 0; rep < row.measures.size(); ++rep) {
-      table.add_row({study::Cell{table.rows.size()}, study::Cell{id},
-                     study::Cell{row.label}, study::Cell{rep},
-                     study::Cell{row.measures[rep]}});
-    }
-  }
-}
-
-}  // namespace
 
 int main() {
-  benchutil::header(
-      "Figure 1: variance decomposition per source, all 5 case studies",
-      "data bootstrap dominates; HPO variance is on par with weight init; "
-      "numerical noise is negligible except for the VOC pipeline");
-  const std::size_t reps =
-      benchutil::env_size("VARBENCH_REPS",
-                          benchutil::env_flag("VARBENCH_FULL") ? 200 : 30);
-  const std::size_t hpo_reps = benchutil::env_flag("VARBENCH_FULL") ? 20 : 5;
-  const std::size_t hpo_budget = benchutil::env_flag("VARBENCH_FULL") ? 200 : 12;
-  auto table = benchutil::make_table(
-      "fig01_variance_sources", {"seq", "task", "source", "rep", "measure"},
-      42);
-  for (const auto& id : casestudies::case_study_ids()) {
-    run_task(id, reps, hpo_reps, hpo_budget, table);
-  }
-  benchutil::write_artifact(table);
-  std::printf(
-      "\nShape check vs paper: bootstrap row should have the largest std in\n"
-      "most tasks, and the three HPO rows should be comparable to the\n"
-      "weight-init row (Fig. 1's center-of-mass).\n");
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kFig01VarianceSources);
 }

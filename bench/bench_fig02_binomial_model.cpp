@@ -1,88 +1,12 @@
-// Figure 2 — Error due to data sampling: standard deviation predicted by a
+// Figure 2 — error due to data sampling: standard deviation predicted by a
 // binomial model of the accuracy measure vs the standard deviation observed
 // when bootstrapping the data.
-#include <cstdio>
-
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "fig02_binomial_model"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
-
-namespace {
-
-using namespace varbench;
-
-struct EmpiricalPoint {
-  std::string task;
-  double accuracy = 0.0;
-  double empirical_std = 0.0;
-  std::size_t test_size = 0;
-};
-
-EmpiricalPoint measure(const std::string& id, std::size_t reps) {
-  const auto cs = casestudies::make_case_study(id, benchutil::scale());
-  const auto defaults = cs.pipeline->default_params();
-  rngx::Rng master{rngx::derive_seed(2, id)};
-  const rngx::VariationSeeds base;
-  std::vector<double> measures;
-  std::size_t test_size = 0;
-  for (std::size_t r = 0; r < reps; ++r) {
-    const auto seeds =
-        base.with_randomized(rngx::VariationSource::kDataSplit, master);
-    auto split_rng = seeds.rng_for(rngx::VariationSource::kDataSplit);
-    const auto split = cs.splitter->split(*cs.pool, split_rng);
-    test_size = split.test.size();
-    const auto [train, test] = core::materialize(*cs.pool, split);
-    measures.push_back(
-        cs.pipeline->train_and_evaluate(train, test, defaults, seeds));
-  }
-  return {cs.paper_task, stats::mean(measures), stats::stddev(measures),
-          test_size};
-}
-
-}  // namespace
 
 int main() {
-  benchutil::header(
-      "Figure 2: binomial model of test-set sampling noise",
-      "std of accuracy from bootstrap replicates matches sqrt(p(1-p)/n') — "
-      "the test-set size limits the measurable precision");
-  const std::size_t reps = benchutil::env_size(
-      "VARBENCH_REPS", benchutil::env_flag("VARBENCH_FULL") ? 100 : 25);
-
-  benchutil::section("theory: binomial std vs test-set size");
-  std::printf("  %-10s", "n'");
-  for (const double acc : {0.66, 0.91, 0.95}) std::printf("  Binom(n,%.2f)", acc);
-  std::printf("\n");
-  for (const double n : {1e2, 1e3, 1e4, 1e5, 1e6}) {
-    std::printf("  %-10.0f", n);
-    for (const double acc : {0.66, 0.91, 0.95}) {
-      std::printf("  %11.4f%%", 100.0 * stats::binomial_accuracy_std(acc, n));
-    }
-    std::printf("\n");
-  }
-
-  benchutil::section("practice: bootstrap-measured std on the case studies");
-  std::printf("  %-18s %6s %10s %16s %16s\n", "task", "n'", "accuracy",
-              "empirical std", "binomial model");
-  for (const auto* id : {"glue_rte_bert", "glue_sst2_bert", "cifar10_vgg11"}) {
-    const auto p = measure(id, reps);
-    const double model =
-        stats::binomial_accuracy_std(p.accuracy,
-                                     static_cast<double>(p.test_size));
-    std::printf("  %-18s %6zu %9.2f%% %15.3f%% %15.3f%%\n", p.task.c_str(),
-                p.test_size, 100.0 * p.accuracy, 100.0 * p.empirical_std,
-                100.0 * model);
-  }
-  benchutil::section("paper reference points (test sizes of the original tasks)");
-  for (const auto& c : casestudies::paper_calibrations()) {
-    if (c.metric != "accuracy") continue;
-    std::printf("  %-18s n'=%-6zu binomial std = %.3f%%\n",
-                c.paper_task.c_str(), c.paper_test_size,
-                100.0 * stats::binomial_accuracy_std(
-                            c.mu, static_cast<double>(c.paper_test_size)));
-  }
-  std::printf(
-      "\nShape check vs paper: empirical bootstrap std should be within ~2x\n"
-      "of the binomial prediction for every task (Fig. 2's crosses on the\n"
-      "dotted curves).\n");
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kFig02Binomial);
 }

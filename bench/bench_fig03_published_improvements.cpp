@@ -1,66 +1,12 @@
-// Figure 3 — Published improvements compared to benchmark variance: the
+// Figure 3 — published improvements compared to benchmark variance: the
 // SOTA progression on cifar10/sst2 with the benchmark's σ band and the
-// z-test significance threshold; each increment is classified as likely
-// significant or not.
-#include <cmath>
-#include <cstdio>
-
+// z-test significance threshold.
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "fig03_published_improvements"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
 
 int main() {
-  using namespace varbench;
-  benchutil::header(
-      "Figure 3: published SOTA increments vs benchmark variance",
-      "many year-over-year 'SOTA' improvements fall inside the benchmark's "
-      "noise band and are not statistically significant");
-
-  // The paper's significance band: an improvement must exceed
-  // z_0.05·sqrt(2)·σ to be distinguishable from benchmark noise at 95%.
-  const double z = stats::normal_quantile(0.95);
-
-  double sum_improvement = 0.0;
-  double sum_sigma = 0.0;
-  std::size_t n_improvements = 0;
-
-  for (const auto& series : casestudies::sota_series()) {
-    const double sigma = series.benchmark_sigma;
-    const double threshold = z * std::sqrt(2.0) * sigma;
-    benchutil::section(series.task.c_str());
-    std::printf("  benchmark sigma = %.3f%%   significance threshold = %.3f%%\n",
-                100.0 * sigma, 100.0 * threshold);
-    std::printf("  %-6s %10s %12s %s\n", "year", "accuracy", "improvement",
-                "verdict");
-    for (std::size_t i = 0; i < series.points.size(); ++i) {
-      const auto& pt = series.points[i];
-      if (i == 0) {
-        std::printf("  %-6d %9.2f%% %12s (baseline)\n", pt.year,
-                    100.0 * pt.accuracy, "-");
-        continue;
-      }
-      const double improvement =
-          pt.accuracy - series.points[i - 1].accuracy;
-      const bool significant = improvement > threshold;
-      std::printf("  %-6d %9.2f%% %11.2f%% %s\n", pt.year,
-                  100.0 * pt.accuracy, 100.0 * improvement,
-                  significant ? "significant" : "NON-significant (x)");
-      sum_improvement += improvement;
-      sum_sigma += sigma;
-      ++n_improvements;
-    }
-    std::printf("  mean increment = %.3f%% (%.2f sigma)\n",
-                100.0 * casestudies::mean_improvement(series),
-                casestudies::mean_improvement(series) / sigma);
-  }
-
-  benchutil::section("delta calibration (Section 4.2)");
-  const double fitted = sum_improvement / sum_sigma;
-  std::printf(
-      "  mean improvement / sigma across both tasks = %.2f\n"
-      "  paper's regression coefficient              = %.4f\n"
-      "  (delta = 1.9952*sigma is the threshold used by the average-\n"
-      "   comparison criterion in Figure 6)\n",
-      fitted, compare::kPublishedImprovementCoeff);
-  (void)n_improvements;
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kFig03Sota);
 }

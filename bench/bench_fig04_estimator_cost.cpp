@@ -1,58 +1,12 @@
-// Figure 4 / §3.3 — Estimator cost accounting: IdealEst requires O(k·T)
+// Figure 4 / §3.3 — estimator cost accounting: IdealEst requires O(k·T)
 // fits, FixHOptEst O(k+T); the paper reports 1070 h vs 21 h (51×) for
-// k=100, T=200. We derive the ratio from actual counted fits.
-#include <cstdio>
-
+// k=100, T=200.
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "fig04_estimator_cost"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
 
 int main() {
-  using namespace varbench;
-  benchutil::header(
-      "Figure 4 / Section 3.3: estimator compute cost (counted fits)",
-      "IdealEst(k=100) costs ~51x more than FixHOptEst(k=100) at T=200");
-
-  benchutil::section("analytic fit counts");
-  std::printf("  %-8s %-8s %14s %16s %8s\n", "k", "T", "IdealEst fits",
-              "FixHOptEst fits", "ratio");
-  for (const std::size_t k : {10u, 50u, 100u}) {
-    for (const std::size_t t : {50u, 100u, 200u}) {
-      const auto ideal = core::ideal_estimator_cost(k, t);
-      const auto biased = core::fix_hopt_estimator_cost(k, t);
-      std::printf("  %-8zu %-8zu %14zu %16zu %7.1fx\n", k, t, ideal, biased,
-                  static_cast<double>(ideal) / static_cast<double>(biased));
-    }
-  }
-  std::printf(
-      "\n  paper's wall-clock: IdealEst(k=100) = 1070 h, FixHOptEst = 21 h\n"
-      "  => 51x. Our fit-count ratio at (k=100, T=200) = %.1fx; wall-clock\n"
-      "  ratios are slightly below the fit ratio because HPO trials train on\n"
-      "  the smaller inner split.\n",
-      static_cast<double>(core::ideal_estimator_cost(100, 200)) /
-          static_cast<double>(core::fix_hopt_estimator_cost(100, 200)));
-
-  benchutil::section("empirical verification with counted fits (small k, T)");
-  const auto cs = casestudies::make_case_study("glue_rte_bert",
-                                               benchutil::scale() * 0.5);
-  const hpo::RandomSearch algo;
-  core::HpoRunConfig cfg;
-  cfg.algorithm = &algo;
-  cfg.budget = 8;
-  rngx::Rng m1{1};
-  rngx::Rng m2{1};
-  const auto ideal =
-      core::ideal_estimator(*cs.pipeline, *cs.pool, *cs.splitter, cfg, 5, m1);
-  const auto biased = core::fix_hopt_estimator(
-      *cs.pipeline, *cs.pool, *cs.splitter, cfg, 5,
-      core::RandomizeSubset::kAll, m2);
-  std::printf("  IdealEst(k=5, T=8):   fits=%zu  mean=%.4f  std=%.4f\n",
-              ideal.fits, ideal.mean, ideal.stddev);
-  std::printf("  FixHOptEst(k=5, T=8): fits=%zu  mean=%.4f  std=%.4f\n",
-              biased.fits, biased.mean, biased.stddev);
-  std::printf("  counted ratio = %.1fx (expected %.1fx)\n",
-              static_cast<double>(ideal.fits) /
-                  static_cast<double>(biased.fits),
-              static_cast<double>(core::ideal_estimator_cost(5, 8)) /
-                  static_cast<double>(core::fix_hopt_estimator_cost(5, 8)));
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kFig04EstimatorCost);
 }

@@ -1,113 +1,12 @@
-// Figure 5 + Figure H.4 — Standard error of biased and ideal estimators
-// with k samples, for all five case studies.
-//
-// Curves come from the calibrated two-stage model (Eq. 7 analytically, plus
-// Monte-Carlo realizations of the simulator as a cross-check). With
-// VARBENCH_EMPIRICAL=1 an additional small-k measurement on the real
-// (scaled-down) pipeline is run for one task.
-#include <cmath>
-#include <cstdio>
-
+// Figure 5 + Figure H.4 — standard error of biased and ideal estimators
+// with k samples, for all five case studies (calibrated two-stage model:
+// Eq. 7 analytically plus Monte-Carlo realizations as a cross-check).
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "fig05_estimator_stderr"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
-
-namespace {
-
-using namespace varbench;
-
-double simulated_std_of_mean(const compare::TaskVarianceProfile& profile,
-                             std::size_t k, std::size_t realizations,
-                             rngx::Rng& master) {
-  // Each realization owns an RNG stream keyed by its index, so the figure
-  // is bit-identical at every VARBENCH_THREADS setting.
-  const auto means = exec::parallel_replicate<double>(
-      benchutil::exec_context(), realizations, master, "fig05_realization",
-      [&](std::size_t, rngx::Rng& rng) {
-        return stats::mean(compare::simulate_measures(
-            profile, compare::EstimatorKind::kBiased, 0.0, k, rng));
-      });
-  return stats::stddev(means);
-}
-
-}  // namespace
 
 int main() {
-  benchutil::header(
-      "Figure 5 / H.4: standard error of estimators vs number of samples k",
-      "FixHOptEst(k,All) approaches IdealEst(k) at no extra cost; "
-      "FixHOptEst(k,Init) plateaus around the equivalent of IdealEst(k=2)");
-
-  const std::size_t realizations = benchutil::env_size(
-      "VARBENCH_REPS", benchutil::env_flag("VARBENCH_FULL") ? 200 : 60);
-  const std::size_t ks[] = {1, 2, 5, 10, 20, 50, 100};
-
-  auto table = benchutil::make_table(
-      "fig05_estimator_stderr",
-      {"seq", "task", "k", "estimator", "analytic", "simulated"}, 5);
-  for (const auto& calib : casestudies::paper_calibrations()) {
-    std::printf("\n%-18s (sigma_ideal=%.4f %s)\n", calib.paper_task.c_str(),
-                calib.sigma_ideal, calib.metric.c_str());
-    std::printf("  %-4s %12s %14s %14s %14s\n", "k", "IdealEst",
-                "Fix(k,Init)", "Fix(k,Data)", "Fix(k,All)");
-    rngx::Rng rng{rngx::derive_seed(5, calib.id)};
-    for (const std::size_t k : ks) {
-      const double ideal = calib.sigma_ideal / std::sqrt(static_cast<double>(k));
-      std::printf("  %-4zu %12.5f", k, ideal);
-      table.add_row({study::Cell{table.rows.size()}, study::Cell{calib.id},
-                     study::Cell{k}, study::Cell{"ideal"}, study::Cell{ideal},
-                     study::Cell{}});  // no MC cross-check for the ideal curve
-      for (const auto subset :
-           {core::RandomizeSubset::kInit, core::RandomizeSubset::kData,
-            core::RandomizeSubset::kAll}) {
-        const double analytic = std::sqrt(core::biased_estimator_variance(
-            calib.sigma_ideal * calib.sigma_ideal, calib.rho_for(subset), k));
-        const double sim = simulated_std_of_mean(calib.profile(subset), k,
-                                                 realizations, rng);
-        std::printf(" %7.5f/%.5f", analytic, sim);
-        const char* label = subset == core::RandomizeSubset::kInit
-                                ? "fix_init"
-                                : subset == core::RandomizeSubset::kData
-                                      ? "fix_data"
-                                      : "fix_all";
-        table.add_row({study::Cell{table.rows.size()}, study::Cell{calib.id},
-                       study::Cell{k}, study::Cell{label},
-                       study::Cell{analytic}, study::Cell{sim}});
-      }
-      std::printf("\n");
-    }
-    // Equivalent-ideal-k of the k→∞ plateau: Var -> ρσ² = σ²/k_eq.
-    std::printf("  plateau equivalents: Init ~ IdealEst(k=%.1f), "
-                "Data ~ IdealEst(k=%.1f), All ~ IdealEst(k=%.1f)\n",
-                1.0 / calib.rho_init, 1.0 / calib.rho_data,
-                1.0 / calib.rho_all);
-  }
-
-  benchutil::write_artifact(table);
-
-  if (benchutil::env_flag("VARBENCH_EMPIRICAL")) {
-    benchutil::section(
-        "empirical (real pipeline, glue_rte_bert, small k, defaults-only HPO)");
-    const auto cs =
-        casestudies::make_case_study("glue_rte_bert", benchutil::scale());
-    const core::HpoRunConfig cfg;  // defaults: isolates the ξO structure
-    for (const auto subset :
-         {core::RandomizeSubset::kInit, core::RandomizeSubset::kData,
-          core::RandomizeSubset::kAll}) {
-      std::vector<double> means;
-      rngx::Rng master{7};
-      for (int rep = 0; rep < 10; ++rep) {
-        const auto r = core::fix_hopt_estimator(
-            *cs.pipeline, *cs.pool, *cs.splitter, cfg, 10, subset, master);
-        means.push_back(r.mean);
-      }
-      std::printf("  Fix(k=10,%-4s): std of estimator over 10 reps = %.5f\n",
-                  std::string(core::to_string(subset)).c_str(),
-                  stats::stddev(means));
-    }
-  }
-  std::printf(
-      "\nShape check vs paper: column order Ideal <= Fix(All) <= Fix(Data)\n"
-      "<= Fix(Init) at every k>1, with Fix(Init) flattening earliest.\n"
-      "(analytic/simulated pairs should agree within Monte-Carlo noise)\n");
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kFig05EstimatorStderr);
 }

@@ -1,120 +1,12 @@
-// Figure 6 — Rate of detections of different comparison methods as the true
-// P(A>B) varies from 0.4 to 1, with both the ideal and the 51×-cheaper
-// biased estimator, averaged over the five case-study calibrations.
-#include <cstdio>
-
+// Figure 6 — rate of detections of different comparison methods as the true
+// P(A>B) varies, with both the ideal and the 51×-cheaper biased estimator,
+// averaged over the five case-study calibrations.
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "fig06_detection_rates"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
-
-namespace {
-
-using namespace varbench;
-
-compare::DetectionCurves run(const casestudies::TaskCalibration& calib,
-                             compare::EstimatorKind kind, std::size_t k,
-                             std::size_t sims, rngx::Rng& rng) {
-  const auto profile = kind == compare::EstimatorKind::kIdeal
-                           ? calib.ideal_profile()
-                           : calib.profile(core::RandomizeSubset::kAll);
-  std::vector<std::unique_ptr<compare::ComparisonCriterion>> criteria;
-  const double delta =
-      compare::published_improvement_delta(calib.sigma_ideal);
-  criteria.push_back(
-      std::make_unique<compare::OracleComparison>(calib.sigma_ideal));
-  criteria.push_back(
-      std::make_unique<compare::SinglePointComparison>(delta));
-  criteria.push_back(std::make_unique<compare::AverageComparison>(delta));
-  criteria.push_back(
-      std::make_unique<compare::ProbOutperformCriterion>(0.75, 100));
-  compare::DetectionRateConfig cfg;
-  cfg.k = k;
-  cfg.simulations = sims;
-  return compare::characterize_detection_rates(profile, kind, criteria, cfg,
-                                               rng);
-}
-
-void print_curves(const compare::DetectionCurves& curves, double gamma) {
-  std::printf("  %-6s %-14s %8s %13s %9s %11s\n", "P(A>B)", "region",
-              "oracle", "single_point", "average", "prob_outp.");
-  for (std::size_t i = 0; i < curves.p_grid.size(); ++i) {
-    const double p = curves.p_grid[i];
-    const auto region = compare::classify_region(p, gamma);
-    const char* label = region == compare::TruthRegion::kH0 ? "H0"
-                        : region == compare::TruthRegion::kH1 ? "H1"
-                                                              : "H0H1";
-    std::printf("  %-6.2f %-14s %7.0f%% %12.0f%% %8.0f%% %10.0f%%\n", p,
-                label, 100.0 * curves.rates.at("oracle")[i],
-                100.0 * curves.rates.at("single_point")[i],
-                100.0 * curves.rates.at("average")[i],
-                100.0 * curves.rates.at("prob_outperforming")[i]);
-  }
-}
-
-compare::DetectionCurves average_over_tasks(compare::EstimatorKind kind,
-                                            std::size_t k, std::size_t sims) {
-  compare::DetectionCurves total;
-  bool first = true;
-  for (const auto& calib : casestudies::paper_calibrations()) {
-    rngx::Rng rng{rngx::derive_seed(6, calib.id)};
-    const auto curves = run(calib, kind, k, sims, rng);
-    if (first) {
-      total = curves;
-      first = false;
-      continue;
-    }
-    for (auto& [name, rates] : total.rates) {
-      const auto& other = curves.rates.at(name);
-      for (std::size_t i = 0; i < rates.size(); ++i) rates[i] += other[i];
-    }
-  }
-  const auto n = static_cast<double>(casestudies::paper_calibrations().size());
-  for (auto& [name, rates] : total.rates) {
-    (void)name;
-    for (double& r : rates) r /= n;
-  }
-  return total;
-}
-
-void record_curves(const compare::DetectionCurves& curves,
-                   const char* estimator, study::ResultTable& table) {
-  for (const auto& [criterion, rates] : curves.rates) {
-    for (std::size_t i = 0; i < curves.p_grid.size(); ++i) {
-      table.add_row({study::Cell{table.rows.size()}, study::Cell{estimator},
-                     study::Cell{criterion}, study::Cell{curves.p_grid[i]},
-                     study::Cell{rates[i]}});
-    }
-  }
-}
-
-}  // namespace
 
 int main() {
-  benchutil::header(
-      "Figure 6: detection rates of comparison criteria vs true P(A>B)",
-      "single-point: ~10% FP and ~75% FN; average: <5% FP but ~90% FN; "
-      "P(A>B) test: ~5% FP and ~30% FN, close to the oracle");
-  const std::size_t k = 50;  // the paper's budget
-  const std::size_t sims = benchutil::env_size(
-      "VARBENCH_REPS", benchutil::env_flag("VARBENCH_FULL") ? 500 : 100);
-
-  auto table = benchutil::make_table(
-      "fig06_detection_rates", {"seq", "estimator", "criterion", "p", "rate"},
-      6);
-  benchutil::section("ideal estimator (solid lines)");
-  const auto ideal = average_over_tasks(compare::EstimatorKind::kIdeal, k,
-                                        sims);
-  print_curves(ideal, 0.75);
-  record_curves(ideal, "ideal", table);
-  benchutil::section("biased estimator FixHOptEst(k, All) (dashed lines)");
-  const auto biased = average_over_tasks(compare::EstimatorKind::kBiased, k,
-                                         sims);
-  print_curves(biased, 0.75);
-  record_curves(biased, "fix_all", table);
-  benchutil::write_artifact(table);
-  std::printf(
-      "\nShape check vs paper: at P=0.5 single_point has the highest FP rate;\n"
-      "in the H1 region (P>0.75) average has the highest FN rate and\n"
-      "prob_outperforming tracks the oracle most closely; the biased\n"
-      "estimator degrades prob_outperforming only mildly.\n");
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kFig06DetectionRates);
 }

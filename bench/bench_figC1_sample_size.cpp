@@ -1,41 +1,12 @@
-// Figure C.1 — Minimum sample size to reliably detect P(A>B) > γ, from
+// Figure C.1 — minimum sample size to reliably detect P(A>B) > γ, from
 // Noether's formula, with the paper's recommended operating point
 // (γ=0.75 → N=29) highlighted.
-#include <cstdio>
-
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "figC1_sample_size"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
 
 int main() {
-  using namespace varbench;
-  benchutil::header(
-      "Figure C.1: Noether minimum sample size vs threshold gamma",
-      "N=29 at the recommended gamma=0.75 (alpha=beta=0.05); detection below "
-      "gamma=0.6 requires impractically many runs");
-
-  std::printf("  %-8s %14s %14s %14s\n", "gamma", "N(beta=0.05)",
-              "N(beta=0.10)", "N(beta=0.20)");
-  for (const double gamma : {0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90,
-                             0.95, 0.99}) {
-    std::printf("  %-8.2f %14zu %14zu %14zu%s\n", gamma,
-                stats::noether_sample_size(gamma, 0.05, 0.05),
-                stats::noether_sample_size(gamma, 0.05, 0.10),
-                stats::noether_sample_size(gamma, 0.05, 0.20),
-                gamma == 0.75 ? "   <-- recommended (paper: N=29)" : "");
-  }
-
-  benchutil::section("power achieved at selected (N, gamma)");
-  std::printf("  %-6s", "N");
-  for (const double g : {0.6, 0.7, 0.75, 0.8, 0.9}) std::printf("  g=%.2f", g);
-  std::printf("\n");
-  for (const std::size_t n : {10u, 20u, 29u, 50u, 100u}) {
-    std::printf("  %-6zu", n);
-    for (const double g : {0.6, 0.7, 0.75, 0.8, 0.9}) {
-      std::printf("  %5.1f%%", 100.0 * stats::noether_power(n, g, 0.05));
-    }
-    std::printf("\n");
-  }
-  std::printf("\nShape check vs paper: N(0.75, 0.05, 0.05) == 29 and the\n"
-              "curve explodes below gamma ~ 0.6 (>150 runs).\n");
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kFigC1SampleSize);
 }

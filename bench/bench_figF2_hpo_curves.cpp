@@ -1,142 +1,12 @@
-// Figure F.2 — Optimization curves of the hyperparameter-optimization
+// Figure F.2 — optimization curves of the hyperparameter-optimization
 // executions: mean ± std of the best-so-far validation and test objective
-// across independent ξH seeds, for Bayesian optimization, noisy grid search
-// and random search.
-#include <cstdio>
-#include <vector>
-
+// across independent ξH seeds.
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "figF2_hpo_curves"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
-
-namespace {
-
-using namespace varbench;
-
-struct CurvePair {
-  std::vector<std::vector<double>> valid;  // per seed: best-so-far valid risk
-  std::vector<std::vector<double>> test;   // per seed: test risk at incumbent
-};
-
-struct SeedCurves {
-  std::vector<double> valid;
-  std::vector<double> test;
-};
-
-/// One independent ξH seed's best-so-far curves. Runs on its own RNG
-/// stream, so the ξH fan-out below parallelizes without changing numbers.
-SeedCurves run_one_seed(const casestudies::CaseStudy& cs,
-                        const hpo::HpoAlgorithm& algo, std::size_t budget,
-                        rngx::Rng& seed_rng) {
-  const rngx::VariationSeeds base;  // ξO fixed: variance is ξH-only
-  const auto seeds = base.with_randomized(rngx::VariationSource::kHpo,
-                                          seed_rng);
-  auto split_rng = seeds.rng_for(rngx::VariationSource::kDataSplit);
-  const auto split = cs.splitter->split(*cs.pool, split_rng);
-  const auto [trainvalid, test] = core::materialize(*cs.pool, split);
-  // Inner split for the HPO objective.
-  auto hpo_rng = seeds.rng_for(rngx::VariationSource::kHpo);
-  std::vector<std::size_t> order(trainvalid.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  hpo_rng.shuffle(order);
-  const std::size_t n_valid = order.size() / 4;
-  const auto inner_valid = ml::subset(
-      trainvalid, std::span<const std::size_t>{order.data(), n_valid});
-  const auto inner_train = ml::subset(
-      trainvalid, std::span<const std::size_t>{order.data() + n_valid,
-                                               order.size() - n_valid});
-  std::vector<double> valid_curve;
-  std::vector<double> test_curve;
-  double best_valid = 1e9;
-  double test_at_best = 1e9;
-  const hpo::Objective objective = [&](const hpo::ParamPoint& lambda) {
-    const double valid_risk =
-        1.0 - cs.pipeline->train_and_evaluate(inner_train, inner_valid,
-                                              lambda, seeds);
-    if (valid_risk < best_valid) {
-      best_valid = valid_risk;
-      test_at_best = 1.0 - cs.pipeline->train_and_evaluate(
-                               trainvalid, test, lambda, seeds);
-    }
-    valid_curve.push_back(best_valid);
-    test_curve.push_back(test_at_best);
-    return valid_risk;
-  };
-  (void)algo.optimize(cs.pipeline->search_space(), objective, budget,
-                      hpo_rng);
-  return SeedCurves{std::move(valid_curve), std::move(test_curve)};
-}
-
-CurvePair run_hpo_curves(const casestudies::CaseStudy& cs,
-                         const hpo::HpoAlgorithm& algo, std::size_t budget,
-                         std::size_t seeds_n) {
-  rngx::Rng master{rngx::derive_seed(0xF2, cs.id)};
-  const auto per_seed = exec::parallel_replicate<SeedCurves>(
-      benchutil::exec_context(), seeds_n, master, "figF2_seed",
-      [&](std::size_t, rngx::Rng& seed_rng) {
-        return run_one_seed(cs, algo, budget, seed_rng);
-      });
-  CurvePair out;
-  for (const SeedCurves& curves : per_seed) {
-    out.valid.push_back(curves.valid);
-    out.test.push_back(curves.test);
-  }
-  return out;
-}
-
-void print_curve(const char* label,
-                 const std::vector<std::vector<double>>& curves,
-                 const std::vector<std::size_t>& checkpoints) {
-  std::printf("  %-22s", label);
-  for (const std::size_t t : checkpoints) {
-    std::vector<double> at;
-    for (const auto& c : curves) {
-      if (t - 1 < c.size()) at.push_back(c[t - 1]);
-    }
-    if (at.empty()) {
-      std::printf(" %13s", "-");
-    } else {
-      std::printf(" %6.3f±%.3f", stats::mean(at), stats::stddev(at));
-    }
-  }
-  std::printf("\n");
-}
-
-}  // namespace
 
 int main() {
-  benchutil::header(
-      "Figure F.2: HPO optimization curves (best-so-far risk, mean±std over "
-      "independent xi_H seeds)",
-      "typical search spaces are well optimized by all three algorithms and "
-      "the across-seed std stabilizes early (before ~25% of the budget)");
-  const bool full = benchutil::env_flag("VARBENCH_FULL");
-  const std::size_t budget = full ? 200 : 24;
-  const std::size_t seeds_n = full ? 20 : 5;
-  const std::vector<std::size_t> checkpoints =
-      full ? std::vector<std::size_t>{1, 25, 50, 100, 200}
-           : std::vector<std::size_t>{1, 6, 12, 18, 24};
-
-  const char* algo_names[] = {"bayes_opt", "noisy_grid_search",
-                              "random_search"};
-  for (const auto* task : {"glue_rte_bert", "cifar10_vgg11"}) {
-    const auto cs = casestudies::make_case_study(task, benchutil::scale());
-    std::printf("\n%s (risk = 1 - %s)\n", cs.paper_task.c_str(),
-                std::string(ml::to_string(cs.pipeline->metric())).c_str());
-    std::printf("  %-22s", "algorithm");
-    for (const std::size_t t : checkpoints) std::printf("      iter %3zu", t);
-    std::printf("\n");
-    for (const auto* name : algo_names) {
-      const auto algo = hpo::make_hpo_algorithm(name);
-      const auto curves = run_hpo_curves(cs, *algo, budget, seeds_n);
-      print_curve((std::string(name) + " [valid]").c_str(), curves.valid,
-                  checkpoints);
-      print_curve((std::string(name) + " [test]").c_str(), curves.test,
-                  checkpoints);
-    }
-  }
-  std::printf(
-      "\nShape check vs paper: all three algorithms reach similar final\n"
-      "valid risk; the across-seed std (the ±) does not keep shrinking with\n"
-      "more iterations — HPO variance would not vanish with larger budgets.\n");
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kFigF2HpoCurves);
 }

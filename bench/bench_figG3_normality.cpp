@@ -1,63 +1,11 @@
-// Figure G.3 — Normality of performance distributions conditional on each
+// Figure G.3 — normality of performance distributions conditional on each
 // variation source: Shapiro–Wilk p-values per source × case study.
-#include <cstdio>
-
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "figG3_normality"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
 
 int main() {
-  using namespace varbench;
-  benchutil::header(
-      "Figure G.3: Shapiro-Wilk normality of per-source performance "
-      "distributions",
-      "performance distributions are close to normal for most tasks/sources "
-      "(SST2's tiny test set discretizes accuracies)");
-  const std::size_t reps = benchutil::env_size(
-      "VARBENCH_REPS", benchutil::env_flag("VARBENCH_FULL") ? 200 : 24);
-
-  std::printf("  %-18s %-22s %8s %8s\n", "task", "source", "W", "p-value");
-  for (const auto& id : casestudies::case_study_ids()) {
-    const auto cs = casestudies::make_case_study(id, benchutil::scale());
-    core::VarianceStudyConfig cfg;
-    cfg.repetitions = reps;
-    cfg.include_numerical_noise = false;
-    rngx::Rng master{rngx::derive_seed(0x9E3, id)};
-    const auto study = core::run_variance_study(*cs.pipeline, *cs.pool,
-                                                *cs.splitter, cfg, master);
-    // "Altogether": all ξO randomized jointly, as in the figure's last row.
-    std::vector<double> altogether;
-    const rngx::VariationSeeds base;
-    for (std::size_t r = 0; r < reps; ++r) {
-      const auto seeds =
-          base.with_randomized_set(rngx::kLearningSources, master);
-      altogether.push_back(core::measure_with_params(
-          *cs.pipeline, *cs.pool, *cs.splitter,
-          cs.pipeline->default_params(), seeds));
-    }
-    const auto is_constant = [](const std::vector<double>& v) {
-      return stats::min_value(v) == stats::max_value(v);
-    };
-    for (const auto& row : study.rows) {
-      if (is_constant(row.measures)) {
-        std::printf("  %-18s %-22s %8s %8s (constant)\n", cs.id.c_str(),
-                    row.label.c_str(), "-", "-");
-        continue;
-      }
-      const auto sw = stats::shapiro_wilk(row.measures);
-      std::printf("  %-18s %-22s %8.4f %8.4f%s\n", cs.id.c_str(),
-                  row.label.c_str(), sw.w_statistic, sw.p_value,
-                  sw.p_value < 0.05 ? "  *non-normal" : "");
-    }
-    if (!is_constant(altogether)) {
-      const auto sw = stats::shapiro_wilk(altogether);
-      std::printf("  %-18s %-22s %8.4f %8.4f%s\n", cs.id.c_str(), "Altogether",
-                  sw.w_statistic, sw.p_value,
-                  sw.p_value < 0.05 ? "  *non-normal" : "");
-    }
-  }
-  std::printf(
-      "\nShape check vs paper: most (task, source) cells accept normality at\n"
-      "p>0.05; small-test-set tasks (RTE/SST2 analogues) may reject due to\n"
-      "the discretized accuracy values, as in the paper.\n");
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kFigG3Normality);
 }

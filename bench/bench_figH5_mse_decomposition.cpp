@@ -1,96 +1,12 @@
-// Figure H.5 — Decomposition of the mean-squared-error of the estimators:
+// Figure H.5 — decomposition of the mean-squared-error of the estimators:
 // bias, variance, inter-measurement correlation ρ, and total MSE for
-// IdealEst(100), FixHOptEst(100, All/Data/Init) and IdealEst(1).
-#include <cmath>
-#include <cstdio>
-
+// IdealEst(k), FixHOptEst(k, All/Data/Init) and IdealEst(1).
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "figH5_mse_decomposition"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
-
-namespace {
-
-using namespace varbench;
-
-struct Decomposition {
-  double bias = 0.0;
-  double variance = 0.0;
-  double rho = 0.0;
-  double mse = 0.0;
-};
-
-// Monte-Carlo decomposition of an estimator under the calibrated two-stage
-// model: many realizations of µ̃(k) against the true µ.
-Decomposition decompose(const compare::TaskVarianceProfile& profile,
-                        compare::EstimatorKind kind, std::size_t k,
-                        std::size_t realizations, rngx::Rng& master) {
-  // Per-realization RNG streams: the decomposition is bit-identical at
-  // every VARBENCH_THREADS setting.
-  const auto draws = exec::parallel_replicate<std::vector<double>>(
-      benchutil::exec_context(), realizations, master, "figH5_realization",
-      [&](std::size_t, rngx::Rng& rng) {
-        return compare::simulate_measures(profile, kind, 0.0, k, rng);
-      });
-  std::vector<double> means;
-  std::vector<double> singles;  // for Var(R̂e), pooled
-  means.reserve(realizations);
-  singles.reserve(realizations * k);
-  for (const auto& x : draws) {
-    means.push_back(stats::mean(x));
-    singles.insert(singles.end(), x.begin(), x.end());
-  }
-  Decomposition d;
-  d.bias = std::abs(stats::mean(means) - profile.mu);
-  d.variance = stats::variance(means);
-  d.rho = stats::implied_correlation(d.variance, stats::variance(singles), k);
-  double mse = 0.0;
-  for (const double m : means) mse += (m - profile.mu) * (m - profile.mu);
-  d.mse = mse / static_cast<double>(realizations);
-  return d;
-}
-
-}  // namespace
 
 int main() {
-  benchutil::header(
-      "Figure H.5: MSE decomposition of the estimators (bias, Var, rho, MSE)",
-      "biased estimators share a similar bias; their MSE differences come "
-      "from variance, which drops as more sources are randomized because "
-      "the correlation rho drops");
-  const std::size_t realizations = benchutil::env_size(
-      "VARBENCH_REPS", benchutil::env_flag("VARBENCH_FULL") ? 1000 : 300);
-  constexpr std::size_t k = 100;
-
-  for (const auto& calib : casestudies::paper_calibrations()) {
-    std::printf("\n%-18s (metric=%s)\n", calib.paper_task.c_str(),
-                calib.metric.c_str());
-    std::printf("  %-24s %10s %12s %8s %12s\n", "estimator", "bias",
-                "Var(mu_k)", "rho", "MSE");
-    rngx::Rng rng{rngx::derive_seed(0xA5, calib.id)};
-
-    const auto ideal100 = decompose(calib.ideal_profile(),
-                                    compare::EstimatorKind::kIdeal, k,
-                                    realizations, rng);
-    std::printf("  %-24s %10.5f %12.3e %8.3f %12.3e\n", "IdealEst(100)",
-                ideal100.bias, ideal100.variance, ideal100.rho, ideal100.mse);
-    for (const auto subset :
-         {core::RandomizeSubset::kAll, core::RandomizeSubset::kData,
-          core::RandomizeSubset::kInit}) {
-      const auto d = decompose(calib.profile(subset),
-                               compare::EstimatorKind::kBiased, k,
-                               realizations, rng);
-      std::printf("  FixHOptEst(100, %-5s)   %10.5f %12.3e %8.3f %12.3e\n",
-                  std::string(core::to_string(subset)).c_str(), d.bias,
-                  d.variance, d.rho, d.mse);
-    }
-    const auto ideal1 = decompose(calib.ideal_profile(),
-                                  compare::EstimatorKind::kIdeal, 1,
-                                  realizations, rng);
-    std::printf("  %-24s %10.5f %12.3e %8.3f %12.3e\n", "IdealEst(1)",
-                ideal1.bias, ideal1.variance, ideal1.rho, ideal1.mse);
-  }
-  std::printf(
-      "\nShape check vs paper: IdealEst(100) has the smallest MSE by far;\n"
-      "among the biased estimators MSE improves in the order Init -> Data ->\n"
-      "All, driven by the drop in rho (third column), not by bias.\n");
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kFigH5MseDecomposition);
 }

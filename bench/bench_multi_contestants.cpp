@@ -1,109 +1,12 @@
 // §6 — benchmarks and competitions with many contestants: pairwise P(A>B)
-// matrix, the Bonferroni-adjusted top group (the §5 recommendation to
-// report every method within the significance bounds), and bootstrap
-// ranking stability ("a different choice of test sets might have led to a
-// slightly modified ranking").
-#include <cstdio>
-#include <string>
-#include <vector>
-
+// matrix, the Bonferroni-adjusted top group, and bootstrap ranking
+// stability.
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "multi_contestants"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
 
 int main() {
-  using namespace varbench;
-  benchutil::header(
-      "Section 6: competitions with many contestants",
-      "with many contestants the winner carries arbitrariness: several "
-      "methods are statistically indistinguishable and rankings flip under "
-      "test-set resampling");
-  const double scale = benchutil::scale();
-  const std::size_t k = benchutil::env_size(
-      "VARBENCH_REPS", benchutil::env_flag("VARBENCH_FULL") ? 50 : 16);
-
-  // Six contestants on the cifar10 analogue: the default recipe plus
-  // variations of decreasing quality (two nearly tied at the top).
-  const auto cs = casestudies::make_case_study("cifar10_vgg11", scale);
-  struct Contestant {
-    std::string name;
-    hpo::ParamPoint params;
-  };
-  std::vector<Contestant> entries;
-  const auto defaults = cs.pipeline->default_params();
-  auto tuned_a = defaults;
-  tuned_a["weight_decay"] = 0.008;  // the best recipe at this scale...
-  entries.push_back({"tuned-A", tuned_a});
-  auto tuned_b = tuned_a;
-  tuned_b["lr_gamma"] = 0.9705;  // ...and a statistically-tied twin
-  entries.push_back({"tuned-B", tuned_b});
-  entries.push_back({"default", defaults});
-  auto slow = defaults;
-  slow["learning_rate"] = 0.004;
-  entries.push_back({"slow-lr", slow});
-  auto fast = defaults;
-  fast["learning_rate"] = 0.25;
-  fast["momentum"] = 0.98;
-  entries.push_back({"hot-lr", fast});
-  auto crippled = defaults;
-  crippled["learning_rate"] = 0.0012;
-  entries.push_back({"crippled", crippled});
-
-  // Paired measurements: every contestant sees the same k splits/seeds.
-  rngx::Rng master{0xC0117E57};
-  compare::ContestantScores scores(entries.size());
-  for (std::size_t i = 0; i < k; ++i) {
-    const auto seeds = rngx::VariationSeeds::random(master);
-    for (std::size_t c = 0; c < entries.size(); ++c) {
-      scores[c].push_back(core::measure_with_params(
-          *cs.pipeline, *cs.pool, *cs.splitter, entries[c].params, seeds));
-    }
-  }
-
-  benchutil::section("mean accuracy per contestant");
-  for (std::size_t c = 0; c < entries.size(); ++c) {
-    std::printf("  %-12s %.4f ± %.4f\n", entries[c].name.c_str(),
-                stats::mean(scores[c]), stats::stddev(scores[c]));
-  }
-
-  benchutil::section("pairwise P(row > column)");
-  std::printf("  %-12s", "");
-  for (const auto& e : entries) std::printf(" %10s", e.name.substr(0, 10).c_str());
-  std::printf("\n");
-  const auto pab = compare::pairwise_pab_matrix(scores);
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    std::printf("  %-12s", entries[i].name.c_str());
-    for (std::size_t j = 0; j < entries.size(); ++j) {
-      std::printf(" %10.2f", pab(i, j));
-    }
-    std::printf("\n");
-  }
-
-  benchutil::section("top group (best + all not significantly-and-meaningfully worse)");
-  auto rng = master.split("top");
-  const auto top = compare::significance_top_group(scores, rng);
-  std::printf("  best by mean: %s (Bonferroni-adjusted alpha = %.4f)\n",
-              entries[top.best].name.c_str(), top.adjusted_alpha);
-  std::printf("  report together:");
-  for (const auto idx : top.group) std::printf(" %s", entries[idx].name.c_str());
-  std::printf("\n");
-
-  benchutil::section("ranking stability under bootstrap of the splits");
-  auto boot = master.split("rank");
-  const auto stability = compare::ranking_stability(scores, boot, 2000);
-  std::printf("  %-12s %12s %28s\n", "contestant", "P(rank 1)",
-              "rank distribution (1..n)");
-  for (std::size_t c = 0; c < entries.size(); ++c) {
-    std::printf("  %-12s %11.1f%%    ", entries[c].name.c_str(),
-                100.0 * stability.prob_first[c]);
-    for (std::size_t r = 0; r < entries.size(); ++r) {
-      std::printf(" %4.0f%%", 100.0 * stability.rank_probability(c, r));
-    }
-    std::printf("\n");
-  }
-  std::printf(
-      "\nReading: the two tuned recipes should split P(rank 1) between them\n"
-      "— declaring a single 'winner' between near-tied contestants is\n"
-      "arbitrary, which is why the paper recommends reporting the whole\n"
-      "significance group.\n");
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kMultiContestants);
 }

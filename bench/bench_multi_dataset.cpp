@@ -1,96 +1,11 @@
 // §6 — comparisons across multiple datasets: Demšar's Friedman/Nemenyi and
-// Wilcoxon recommendations vs Dror et al.'s replicability counting, applied
-// to three algorithm variants across the five case studies.
-#include <cstdio>
-#include <string>
-#include <vector>
-
+// Wilcoxon recommendations vs Dror et al.'s replicability counting.
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "multi_dataset"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
 
 int main() {
-  using namespace varbench;
-  benchutil::header(
-      "Section 6: comparing algorithms across multiple datasets",
-      "Friedman/Nemenyi have little power on the 3-5 datasets of typical ML "
-      "papers; Dror et al.'s per-dataset counting works at small N");
-  const double scale = benchutil::scale();
-  const std::size_t runs = benchutil::env_size(
-      "VARBENCH_REPS", benchutil::env_flag("VARBENCH_FULL") ? 30 : 10);
-
-  // Three algorithm variants (defined by a learning-rate multiplier on each
-  // task's defaults) across all five case studies.
-  const std::vector<std::pair<std::string, double>> variants = {
-      {"tuned", 1.0}, {"half-lr", 0.5}, {"tenth-lr", 0.1}};
-  const auto ids = casestudies::case_study_ids();
-
-  math::Matrix mean_scores{ids.size(), variants.size()};
-  std::vector<double> pvals_tuned_vs_tenth;
-
-  for (std::size_t d = 0; d < ids.size(); ++d) {
-    const auto cs = casestudies::make_case_study(ids[d], scale);
-    rngx::Rng master{rngx::derive_seed(0xD57, ids[d])};
-    std::vector<std::vector<double>> per_variant(variants.size());
-    for (std::size_t r = 0; r < runs; ++r) {
-      const auto seeds = rngx::VariationSeeds::random(master);  // paired
-      for (std::size_t v = 0; v < variants.size(); ++v) {
-        auto params = cs.pipeline->default_params();
-        if (params.count("learning_rate") != 0) {
-          params["learning_rate"] *= variants[v].second;
-        }
-        per_variant[v].push_back(core::measure_with_params(
-            *cs.pipeline, *cs.pool, *cs.splitter, params, seeds));
-      }
-    }
-    for (std::size_t v = 0; v < variants.size(); ++v) {
-      mean_scores(d, v) = stats::mean(per_variant[v]);
-    }
-    // Per-dataset significance of tuned vs tenth-lr (for Dror counting).
-    pvals_tuned_vs_tenth.push_back(
-        stats::wilcoxon_signed_rank(per_variant[0], per_variant[2]).p_value);
-  }
-
-  benchutil::section("mean score per (dataset, variant)");
-  std::printf("  %-18s", "dataset");
-  for (const auto& [name, mult] : variants) std::printf(" %10s", name.c_str());
-  std::printf("\n");
-  for (std::size_t d = 0; d < ids.size(); ++d) {
-    std::printf("  %-18s", ids[d].c_str());
-    for (std::size_t v = 0; v < variants.size(); ++v) {
-      std::printf(" %10.4f", mean_scores(d, v));
-    }
-    std::printf("\n");
-  }
-
-  benchutil::section("Demsar: Friedman test + Nemenyi critical difference");
-  const auto fr = stats::friedman_test(mean_scores);
-  std::printf("  chi2_F = %.3f, p = %.4f (Iman-Davenport F = %.3f)\n",
-              fr.chi_squared, fr.p_value, fr.iman_davenport_f);
-  std::printf("  average ranks:");
-  for (std::size_t v = 0; v < variants.size(); ++v) {
-    std::printf(" %s=%.2f", variants[v].first.c_str(), fr.average_ranks[v]);
-  }
-  const double cd =
-      stats::nemenyi_critical_difference(variants.size(), ids.size());
-  std::printf("\n  Nemenyi CD (alpha=0.05) = %.2f ranks\n", cd);
-  const auto group = stats::nemenyi_top_group(fr, ids.size());
-  std::printf("  indistinguishable-from-best group:");
-  for (const auto v : group) std::printf(" %s", variants[v].first.c_str());
-  std::printf("\n");
-
-  benchutil::section("Dror et al.: per-dataset replicability (tuned vs tenth-lr)");
-  const auto rep = stats::replicability_analysis(pvals_tuned_vs_tenth, 0.05);
-  for (std::size_t d = 0; d < ids.size(); ++d) {
-    std::printf("  %-18s p = %.4f  %s\n", ids[d].c_str(),
-                pvals_tuned_vs_tenth[d],
-                rep.significant[d] ? "significant" : "-");
-  }
-  std::printf("  significant on %zu/%zu datasets; improves-on-all: %s\n",
-              rep.significant_count, rep.dataset_count,
-              rep.improves_on_all ? "YES" : "no");
-  std::printf(
-      "\nReading: with only 5 datasets the Friedman test's power is limited\n"
-      "(the paper's point about Demsar's recommendation at small N), while\n"
-      "the per-dataset counting verdict is direct and interpretable.\n");
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kMultiDataset);
 }

@@ -1,119 +1,11 @@
-// Tables 8/9 — Comparison of models on the MHC binding-prediction task:
-// the paper compares its single shallow MLP (MLP-MHC) against
-// NetMHCpan4-style (single model, allele+peptide input) and MHCflurry-style
-// (ensemble of shallow MLPs) designs, reporting AUC and PCC.
-//
-// We reproduce the *design* comparison on the synthetic binding task:
-//   MLP-MHC        single shallow MLP, one-hot ("sparse") encoding
-//   NetMHCpan4-a   single shallow MLP, smaller hidden layer (BLOSUM-like
-//                  compressed encoding simulated by a fixed projection)
-//   MHCflurry-a    ensemble of 8 shallow MLPs (averaged predictions)
-#include <cstdio>
-#include <memory>
-#include <vector>
-
+// Tables 8/9 — comparison of model designs on the MHC binding-prediction
+// task: MLP-MHC vs NetMHCpan4-style vs MHCflurry-style (ensemble).
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "table8_mhc_models"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
-
-namespace {
-
-using namespace varbench;
-
-struct ModelScore {
-  double auc = 0.0;
-  double pcc = 0.0;
-};
-
-ModelScore evaluate_single(const ml::Dataset& train, const ml::Dataset& test,
-                           std::size_t hidden, const rngx::VariationSeeds& s) {
-  ml::TrainConfig cfg;
-  cfg.model.hidden = {hidden};
-  cfg.optimizer = ml::OptimizerKind::kAdam;
-  cfg.loss = ml::LossKind::kMse;
-  cfg.opt.learning_rate = 0.01;
-  cfg.epochs = 15;
-  cfg.batch_size = 64;
-  const auto m = ml::train_mlp(train, cfg, s);
-  return {ml::evaluate_model(m, test, ml::Metric::kAuc, 0.5),
-          ml::evaluate_model(m, test, ml::Metric::kPearson)};
-}
-
-ModelScore evaluate_ensemble(const ml::Dataset& train, const ml::Dataset& test,
-                             std::size_t members, std::size_t hidden,
-                             rngx::Rng& master) {
-  // MHCflurry-style: average the predictions of several independently
-  // initialized shallow MLPs.
-  std::vector<double> avg(test.size(), 0.0);
-  for (std::size_t e = 0; e < members; ++e) {
-    rngx::VariationSeeds s;
-    s.weight_init = master.next_u64();
-    s.data_order = master.next_u64();
-    ml::TrainConfig cfg;
-    cfg.model.hidden = {hidden};
-    cfg.optimizer = ml::OptimizerKind::kAdam;
-    cfg.loss = ml::LossKind::kMse;
-    cfg.opt.learning_rate = 0.01;
-    cfg.epochs = 15;
-    cfg.batch_size = 64;
-    const auto m = ml::train_mlp(train, cfg, s);
-    const auto pred = m.forward(test.x);
-    for (std::size_t i = 0; i < test.size(); ++i) avg[i] += pred(i, 0);
-  }
-  for (double& v : avg) v /= static_cast<double>(members);
-  return {ml::roc_auc(avg, ml::binarize(test.y, 0.5)),
-          stats::pearson(avg, test.y)};
-}
-
-}  // namespace
 
 int main() {
-  benchutil::header(
-      "Tables 8/9: model-design comparison on the MHC binding task",
-      "the three designs perform comparably (paper: AUC 0.85-0.96, "
-      "PCC 0.62-0.67 on CV splits); ensembling helps modestly");
-  const auto cs = casestudies::make_case_study("mhc_mlp",
-                                               std::max(0.5, benchutil::scale()));
-  const std::size_t reps = benchutil::env_size(
-      "VARBENCH_REPS", benchutil::env_flag("VARBENCH_FULL") ? 20 : 5);
-
-  struct Row {
-    const char* name;
-    std::vector<double> auc;
-    std::vector<double> pcc;
-  };
-  std::vector<Row> rows{{"MLP-MHC (single, h=150)", {}, {}},
-                        {"NetMHCpan4-analogue (single, h=60)", {}, {}},
-                        {"MHCflurry-analogue (8-ensemble, h=60)", {}, {}}};
-
-  rngx::Rng master{0x8008};
-  for (std::size_t r = 0; r < reps; ++r) {
-    const auto seeds = rngx::VariationSeeds::random(master);
-    auto split_rng = seeds.rng_for(rngx::VariationSource::kDataSplit);
-    const auto split = cs.splitter->split(*cs.pool, split_rng);
-    const auto [train, test] = core::materialize(*cs.pool, split);
-
-    const auto mlp_mhc = evaluate_single(train, test, 150, seeds);
-    rows[0].auc.push_back(mlp_mhc.auc);
-    rows[0].pcc.push_back(mlp_mhc.pcc);
-    const auto netmhc = evaluate_single(train, test, 60, seeds);
-    rows[1].auc.push_back(netmhc.auc);
-    rows[1].pcc.push_back(netmhc.pcc);
-    auto ens_rng = master.split("ensemble");
-    const auto flurry = evaluate_ensemble(train, test, 8, 60, ens_rng);
-    rows[2].auc.push_back(flurry.auc);
-    rows[2].pcc.push_back(flurry.pcc);
-  }
-
-  std::printf("  %-40s %14s %14s\n", "model design", "AUC", "PCC");
-  for (const auto& row : rows) {
-    std::printf("  %-40s %7.3f±%.3f %7.3f±%.3f\n", row.name,
-                stats::mean(row.auc), stats::stddev(row.auc),
-                stats::mean(row.pcc), stats::stddev(row.pcc));
-  }
-  std::printf(
-      "\n  paper (Table 8, NetMHC-CVsplits): NetMHCpan4 AUC .854 PCC .620;\n"
-      "  MHCflurry .964*/.671* (leakage-inflated); MLP-MHC .861/.660.\n"
-      "Shape check: designs within a few points of each other; the ensemble\n"
-      "at least matches the equivalent single model.\n");
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kTable8MhcModels);
 }

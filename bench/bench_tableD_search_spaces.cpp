@@ -1,32 +1,11 @@
-// Tables 2/3/5/6 (Appendix D) — Search spaces and default hyperparameters
+// Tables 2/3/5/6 (Appendix D) — search spaces and default hyperparameters
 // for every case study, as encoded in the registry.
-#include <cstdio>
-
+// Thin spec-builder over the registered figure study kind: the numbers
+// (and the VARBENCH_OUT artifact) are identical to
+// `varbench run` on {"kind": "tableD_search_spaces"} — see bench/bench_util.h.
 #include "bench/bench_util.h"
-#include "src/varbench.h"
 
 int main() {
-  using namespace varbench;
-  benchutil::header(
-      "Tables 2/3/5/6: hyperparameter search spaces and defaults",
-      "search spaces cover the optimal values reported by the original "
-      "studies while remaining wide enough to include suboptimal ones");
-  for (const auto& id : casestudies::case_study_ids()) {
-    const auto cs = casestudies::make_case_study(id, 0.1);
-    std::printf("\n%s (%s)\n", cs.paper_task.c_str(), id.c_str());
-    std::printf("  %-16s %-10s %12s %12s %10s\n", "hyperparameter", "scale",
-                "low", "high", "default");
-    const auto defaults = cs.pipeline->default_params();
-    for (const auto& d : cs.pipeline->search_space().dims()) {
-      const auto it = defaults.find(d.name);
-      std::printf("  %-16s %-10s %12g %12g %10g%s\n", d.name.c_str(),
-                  d.scale == hpo::ScaleKind::kLog ? "log" : "linear", d.lo,
-                  d.hi, it != defaults.end() ? it->second : 0.0,
-                  d.integer ? "  (integer)" : "");
-    }
-    std::printf("  metric=%s, paper test size n'=%zu\n",
-                std::string(ml::to_string(cs.pipeline->metric())).c_str(),
-                cs.paper_test_size);
-  }
-  return 0;
+  return varbench::benchutil::run_figure_bench(
+      varbench::study::StudyKind::kTableDSearchSpaces);
 }

@@ -1,24 +1,37 @@
 // Shared helpers for the figure/table reproduction harnesses.
 //
-// Every bench binary prints the rows/series of one table or figure from
-// "Accounting for Variance in Machine Learning Benchmarks" (MLSys 2021),
-// and (when VARBENCH_OUT is set) writes the underlying data as a canonical
-// ResultTable artifact next to the printout.
+// Since the bench/ → study-kind refactor, every figure/table binary is a
+// thin spec-builder: run_figure_bench(kind) assembles the registered
+// kind's default StudySpec, applies the environment knobs, executes it
+// through the same run_study() path `varbench run` uses, prints the
+// summary, and (when VARBENCH_OUT is set) writes the canonical ResultTable
+// artifact. The same artifact — byte-identical — is produced by
+//   varbench run - <<<'{"kind": "<name>"}'
+// and by any sharded/campaigned execution of that spec.
+//
 // Scale knobs (environment variables):
-//   VARBENCH_SCALE   data-pool / epoch scale in (0, 1]   (default 0.3)
-//   VARBENCH_REPS    repetitions per measurement          (bench-specific)
+//   VARBENCH_SCALE   data-pool / epoch scale in (0, 1]; default: the
+//                    kind's spec default (0.25 for most kinds, 0.5 for
+//                    table8), matching `varbench run` on the bare spec
+//   VARBENCH_REPS    repetitions (the spec's shardable count)
 //   VARBENCH_FULL=1  paper-faithful sizes (slow; hours)
+//   VARBENCH_SEED    master seed, full u64 range (default: spec's 42)
+//   VARBENCH_SHARD   "i/N" — run one slice of the figure
 //   VARBENCH_OUT     directory for ResultTable artifacts (default: none)
 //   VARBENCH_THREADS worker count for the Monte-Carlo loops (default 0 =
 //                    all cores; results bit-identical at any setting)
 #pragma once
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "src/exec/exec_context.h"
+#include "src/study/figures/figures.h"
 #include "src/study/result_table.h"
+#include "src/study/study_runner.h"
 
 namespace varbench::benchutil {
 
@@ -33,6 +46,18 @@ inline std::size_t env_size(const char* name, std::size_t fallback) {
   if (v == nullptr || *v == '\0') return fallback;
   const long parsed = std::atol(v);
   return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// Full-u64 env parse for seeds: 0 is a legal seed (env_size treats it as
+/// unset) and derive_seed outputs use the whole range.
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) return fallback;
+  return parsed;
 }
 
 inline bool env_flag(const char* name) {
@@ -66,27 +91,19 @@ inline void section(const char* title) {
   std::printf("\n--- %s ---\n", title);
 }
 
-/// Start a bench-owned ResultTable artifact. The first column should be
-/// "seq" (the emission index) so bench tables share the canonical row-order
-/// convention of spec-driven artifacts.
-inline study::ResultTable make_table(std::string name,
-                                     std::vector<std::string> columns,
-                                     std::uint64_t seed) {
-  study::ResultTable t;
-  t.name = std::move(name);
-  t.seed = seed;
-  t.columns = std::move(columns);
-  return t;
-}
-
 /// Write `<VARBENCH_OUT>/<table.name>.json` (+ .csv) when VARBENCH_OUT is
-/// set; silently a no-op otherwise, so default bench runs stay print-only.
-/// Best-effort: an unwritable directory warns instead of killing a bench
-/// run whose printout already happened.
+/// set (':' in artifact names becomes '-'); silently a no-op otherwise, so
+/// default bench runs stay print-only. Best-effort: an unwritable
+/// directory warns instead of killing a bench run whose printout already
+/// happened.
 inline void write_artifact(const study::ResultTable& table) {
   const char* dir = std::getenv("VARBENCH_OUT");
   if (dir == nullptr || *dir == '\0') return;
-  const std::string base = std::string{dir} + "/" + table.name;
+  std::string name = table.name;
+  for (char& c : name) {
+    if (c == ':' || c == '/') c = '-';
+  }
+  const std::string base = std::string{dir} + "/" + name;
   try {
     io::write_file(base + ".json", table.to_json_text());
     io::write_file(base + ".csv", table.to_csv());
@@ -95,6 +112,51 @@ inline void write_artifact(const study::ResultTable& table) {
   } catch (const io::JsonError& e) {
     std::fprintf(stderr, "warning: VARBENCH_OUT artifact not written: %s\n",
                  e.what());
+  }
+}
+
+/// The whole body of a figure/table bench binary: build the registered
+/// kind's spec from the environment knobs, run it, print the paper-facing
+/// summary, emit the artifact. Returns the process exit code.
+inline int run_figure_bench(study::StudyKind kind) {
+  const study::figures::FigureDef* def = study::figures::find_figure(kind);
+  if (def == nullptr) {
+    std::fprintf(stderr, "error: not a registered figure kind\n");
+    return 1;
+  }
+  try {
+    study::StudySpec spec = study::figures::default_figure_spec(kind);
+    if (env_flag("VARBENCH_FULL")) {
+      if (def->full != nullptr) def->full(spec);
+      spec.scale = 1.0;
+    } else {
+      const double s = env_double("VARBENCH_SCALE", 0.0);
+      if (s > 0.0 && s <= 1.0) spec.scale = s;
+    }
+    if (!def->fixed_repetitions) {
+      spec.repetitions = env_size("VARBENCH_REPS", spec.repetitions);
+    }
+    spec.seed = env_u64("VARBENCH_SEED", spec.seed);
+    spec.threads = env_size("VARBENCH_THREADS", 0);
+    if (const char* shard = std::getenv("VARBENCH_SHARD")) {
+      if (*shard != '\0') spec.shard = study::ShardSpec::parse(shard);
+    }
+    std::printf(
+        "================================================================\n"
+        "%s\n  paper claim: %s\n"
+        "  (scale=%.2f; set VARBENCH_SCALE / VARBENCH_FULL=1 to change)\n"
+        "  spec kind '%s' — `varbench list` shows every knob; the same\n"
+        "  artifact ships via `varbench run/campaign` (docs/study_api.md)\n"
+        "================================================================\n",
+        std::string{def->title}.c_str(), std::string{def->claim}.c_str(),
+        spec.scale, std::string{def->name}.c_str());
+    const study::ResultTable table = study::run_study(spec);
+    study::print_summary(table, stdout);
+    write_artifact(table);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
 }
 

@@ -87,4 +87,22 @@ Json double_array(const std::vector<double>& v) {
   return arr;
 }
 
+void reject_unknown_fields(const Json& obj, std::string_view domain,
+                           std::string_view schema, std::string_view path,
+                           std::initializer_list<std::string_view> known) {
+  for (const auto& [key, value] : obj.as_object()) {
+    bool ok = false;
+    for (const std::string_view k : known) ok = ok || key == k;
+    if (ok) continue;
+    std::string list;
+    for (const std::string_view k : known) {
+      if (!list.empty()) list += ", ";
+      list += "'" + std::string{k} + "'";
+    }
+    throw JsonError(std::string{domain} + ": unknown field '" +
+                    std::string{path} + "." + key + "' (schema " +
+                    std::string{schema} + " reader knows: " + list + ")");
+  }
+}
+
 }  // namespace varbench::io

@@ -48,4 +48,14 @@ class ObjectReader {
 [[nodiscard]] Json string_array(const std::vector<std::string>& v);
 [[nodiscard]] Json double_array(const std::vector<double>& v);
 
+/// The v2 strict-tolerance reading contract (docs/study_api.md): every
+/// key of `obj` must appear in `known`, otherwise throw a JsonError
+/// naming the offending JSON path ("$.meta.frobnicate"), the schema being
+/// read, and the fields this build knows — so producers of future
+/// documents learn exactly which field an old reader cannot honor.
+/// `domain` prefixes the message ("result table", "report").
+void reject_unknown_fields(const Json& obj, std::string_view domain,
+                           std::string_view schema, std::string_view path,
+                           std::initializer_list<std::string_view> known);
+
 }  // namespace varbench::io

@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "src/io/json.h"
+#include "src/io/spec_reader.h"
 
 namespace varbench::report {
 
@@ -11,7 +12,17 @@ namespace fs = std::filesystem;
 
 namespace {
 
+// Same evolution contract as ResultTable (docs/study_api.md): v1 manifests
+// read as always, v2 manifests read strictly — unknown fields are rejected
+// with the offending JSON path — and anything else is unsupported.
 constexpr std::string_view kCampaignSchema = "varbench.campaign.v1";
+constexpr std::string_view kCampaignSchemaV2 = "varbench.campaign.v2";
+
+void reject_unknown_manifest_fields(
+    const io::Json& obj, std::string_view path,
+    std::initializer_list<std::string_view> known) {
+  io::reject_unknown_fields(obj, "report", kCampaignSchemaV2, path, known);
+}
 
 std::vector<std::string> json_files_in(const fs::path& dir) {
   std::vector<std::string> files;
@@ -38,10 +49,20 @@ std::string study_identity(const study::ResultTable& t) {
 CampaignProvenance read_campaign_provenance(const std::string& path) {
   const io::Json doc = io::Json::parse(io::read_file(path));
   const std::string& schema = doc.at("schema").as_string();
-  if (schema != kCampaignSchema) {
+  if (schema != kCampaignSchema && schema != kCampaignSchemaV2) {
     throw io::JsonError("report: unsupported campaign manifest schema '" +
                         schema + "' in '" + path + "' (this build reads '" +
-                        std::string{kCampaignSchema} + "')");
+                        std::string{kCampaignSchema} + "' and '" +
+                        std::string{kCampaignSchemaV2} + "')");
+  }
+  if (schema == kCampaignSchemaV2) {
+    reject_unknown_manifest_fields(
+        doc, "$", {"schema", "shards", "max_retries", "studies", "tasks"});
+    for (const io::Json& task : doc.at("tasks").as_array()) {
+      reject_unknown_manifest_fields(
+          task, "$.tasks[]",
+          {"id", "study", "shard", "status", "attempts", "wall_time_ms"});
+    }
   }
   CampaignProvenance prov;
   const auto& studies = doc.at("studies").as_array();

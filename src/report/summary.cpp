@@ -13,7 +13,11 @@ namespace varbench::report {
 namespace {
 
 /// Index columns by repo convention: enumeration order, not measurements.
-constexpr std::string_view kIndexColumns[] = {"seq", "rep", "sim"};
+/// The figure kinds add per-unit enumerations of their own (realization,
+/// run, iter, seed of figF2, year of fig03) — axes to group_by over, not
+/// values to summarize by default.
+constexpr std::string_view kIndexColumns[] = {"seq", "rep",  "sim", "realization",
+                                              "run", "iter", "seed", "year"};
 
 bool is_index_column(const std::string& name) {
   for (const std::string_view c : kIndexColumns) {

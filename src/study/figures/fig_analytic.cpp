@@ -1,0 +1,276 @@
+// The analytic figure kinds — no Monte-Carlo loop, a fixed enumeration of
+// grid rows computed exactly: Fig. 3 (published SOTA increments), Fig. 4
+// (estimator fit-count costs), Fig. C.1 (Noether sample sizes), and the
+// Appendix D search-space tables. `repetitions` is pinned to 1; the row
+// enumeration itself shards (every row is a pure function of its index).
+#include <cmath>
+
+#include "src/casestudies/calibration.h"
+#include "src/casestudies/registry.h"
+#include "src/compare/error_rates.h"
+#include "src/core/estimators.h"
+#include "src/hpo/space.h"
+#include "src/stats/distributions.h"
+#include "src/stats/sample_size.h"
+#include "src/study/figures/figures_common.h"
+
+namespace varbench::study::figures {
+
+// ---------------------------------------------------------------- fig03
+
+ResultTable run_fig03(const StudySpec& spec) {
+  ResultTable t;
+  t.columns = {"seq",         "task",  "year",      "accuracy",
+               "improvement", "sigma", "threshold", "significant"};
+  const double z = stats::normal_quantile(0.95);
+  // Build the full enumeration (cheap: static series), emit the slice.
+  std::vector<Row> rows;
+  for (const auto& series : casestudies::sota_series()) {
+    const double threshold = z * std::sqrt(2.0) * series.benchmark_sigma;
+    for (std::size_t i = 0; i < series.points.size(); ++i) {
+      const auto& pt = series.points[i];
+      Row row{Cell{rows.size()}, Cell{series.task}, Cell{pt.year},
+              Cell{pt.accuracy}};
+      if (i == 0) {
+        row.push_back(Cell{});  // baseline: no increment
+        row.push_back(Cell{series.benchmark_sigma});
+        row.push_back(Cell{threshold});
+        row.push_back(Cell{});
+      } else {
+        const double improvement =
+            pt.accuracy - series.points[i - 1].accuracy;
+        row.push_back(Cell{improvement});
+        row.push_back(Cell{series.benchmark_sigma});
+        row.push_back(Cell{threshold});
+        row.push_back(Cell{
+            static_cast<std::size_t>(improvement > threshold ? 1 : 0)});
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  const auto slice = slice_of(spec, rows.size());
+  for (std::size_t i = slice.begin; i < slice.end; ++i) {
+    t.add_row(std::move(rows[i]));
+  }
+  return t;
+}
+
+void summarize_fig03(const ResultTable& t, std::FILE* out) {
+  const std::size_t task_col = t.column_index("task");
+  const std::size_t year_col = t.column_index("year");
+  const std::size_t acc_col = t.column_index("accuracy");
+  const std::size_t imp_col = t.column_index("improvement");
+  const std::size_t sigma_col = t.column_index("sigma");
+  const std::size_t thr_col = t.column_index("threshold");
+  double sum_improvement = 0.0;
+  double sum_sigma = 0.0;
+  std::string task;
+  for (const Row& row : t.rows) {
+    if (row[task_col].as_string() != task) {
+      task = row[task_col].as_string();
+      std::fprintf(out, "\n%s\n", task.c_str());
+      std::fprintf(out,
+                   "  benchmark sigma = %.3f%%   significance threshold = "
+                   "%.3f%%\n",
+                   100.0 * row[sigma_col].as_double(),
+                   100.0 * row[thr_col].as_double());
+      std::fprintf(out, "  %-6s %10s %12s %s\n", "year", "accuracy",
+                   "improvement", "verdict");
+    }
+    const auto year = static_cast<int>(row[year_col].as_int64());
+    if (row[imp_col].is_null()) {
+      std::fprintf(out, "  %-6d %9.2f%% %12s (baseline)\n", year,
+                   100.0 * row[acc_col].as_double(), "-");
+      continue;
+    }
+    const double improvement = row[imp_col].as_double();
+    const bool significant = improvement > row[thr_col].as_double();
+    std::fprintf(out, "  %-6d %9.2f%% %11.2f%% %s\n", year,
+                 100.0 * row[acc_col].as_double(), 100.0 * improvement,
+                 significant ? "significant" : "NON-significant (x)");
+    sum_improvement += improvement;
+    sum_sigma += row[sigma_col].as_double();
+  }
+  std::fprintf(out,
+               "\ndelta calibration (Section 4.2)\n"
+               "  mean improvement / sigma across tasks = %.2f\n"
+               "  paper's regression coefficient        = %.4f\n"
+               "  (delta = 1.9952*sigma is the average-comparison threshold "
+               "of Fig. 6)\n",
+               sum_sigma > 0.0 ? sum_improvement / sum_sigma : 0.0,
+               compare::kPublishedImprovementCoeff);
+}
+
+// ---------------------------------------------------------------- fig04
+
+ResultTable run_fig04(const StudySpec& spec) {
+  ResultTable t;
+  t.columns = {"seq", "k", "T", "ideal_fits", "fixhopt_fits", "ratio"};
+  const std::size_t n = spec.figure.k_grid.size() * spec.figure.t_grid.size();
+  const auto slice = slice_of(spec, n);
+  for (std::size_t i = slice.begin; i < slice.end; ++i) {
+    const std::size_t k = spec.figure.k_grid[i / spec.figure.t_grid.size()];
+    const std::size_t budget =
+        spec.figure.t_grid[i % spec.figure.t_grid.size()];
+    const std::size_t ideal = core::ideal_estimator_cost(k, budget);
+    const std::size_t biased = core::fix_hopt_estimator_cost(k, budget);
+    t.add_row({Cell{i}, Cell{k}, Cell{budget}, Cell{ideal}, Cell{biased},
+               Cell{static_cast<double>(ideal) /
+                    static_cast<double>(biased)}});
+  }
+  return t;
+}
+
+void summarize_fig04(const ResultTable& t, std::FILE* out) {
+  std::fprintf(out, "  %-8s %-8s %14s %16s %8s\n", "k", "T", "IdealEst fits",
+               "FixHOptEst fits", "ratio");
+  for (const Row& row : t.rows) {
+    std::fprintf(out, "  %-8llu %-8llu %14llu %16llu %7.1fx\n",
+                 static_cast<unsigned long long>(
+                     row[t.column_index("k")].as_uint64()),
+                 static_cast<unsigned long long>(
+                     row[t.column_index("T")].as_uint64()),
+                 static_cast<unsigned long long>(
+                     row[t.column_index("ideal_fits")].as_uint64()),
+                 static_cast<unsigned long long>(
+                     row[t.column_index("fixhopt_fits")].as_uint64()),
+                 row[t.column_index("ratio")].as_double());
+  }
+  std::fprintf(out,
+               "\n  paper's wall-clock: IdealEst(k=100) = 1070 h, FixHOptEst "
+               "= 21 h => 51x.\n  Our fit-count ratio at (k=100, T=200) = "
+               "%.1fx; wall-clock ratios sit\n  slightly below the fit ratio "
+               "because HPO trials train on the smaller\n  inner split.\n",
+               static_cast<double>(core::ideal_estimator_cost(100, 200)) /
+                   static_cast<double>(core::fix_hopt_estimator_cost(100,
+                                                                     200)));
+}
+
+// ---------------------------------------------------------------- figC1
+
+ResultTable run_figC1(const StudySpec& spec) {
+  ResultTable t;
+  t.columns = {"seq", "gamma", "beta", "n_required"};
+  const std::size_t n =
+      spec.figure.gamma_grid.size() * spec.figure.beta_grid.size();
+  const auto slice = slice_of(spec, n);
+  for (std::size_t i = slice.begin; i < slice.end; ++i) {
+    const double gamma =
+        spec.figure.gamma_grid[i / spec.figure.beta_grid.size()];
+    const double beta = spec.figure.beta_grid[i % spec.figure.beta_grid.size()];
+    t.add_row({Cell{i}, Cell{gamma}, Cell{beta},
+               Cell{stats::noether_sample_size(gamma, 0.05, beta)}});
+  }
+  return t;
+}
+
+void summarize_figC1(const ResultTable& t, std::FILE* out) {
+  const std::size_t gamma_col = t.column_index("gamma");
+  const std::size_t beta_col = t.column_index("beta");
+  const std::size_t n_col = t.column_index("n_required");
+  // Pivot: one line per gamma, one column per beta (first-appearance order).
+  std::vector<double> betas;
+  for (const Row& row : t.rows) {
+    const double beta = row[beta_col].as_double();
+    bool known = false;
+    for (const double b : betas) known = known || b == beta;
+    if (!known) betas.push_back(beta);
+  }
+  std::fprintf(out, "  %-8s", "gamma");
+  for (const double beta : betas) std::fprintf(out, " N(beta=%.2f)", beta);
+  std::fprintf(out, "\n");
+  std::string line;
+  double gamma = -1.0;
+  const auto flush = [&] {
+    if (line.empty()) return;
+    if (gamma == 0.75) line += "   <-- recommended (paper: N=29)";
+    std::fprintf(out, "%s\n", line.c_str());
+  };
+  for (const Row& row : t.rows) {
+    if (row[gamma_col].as_double() != gamma) {
+      flush();
+      gamma = row[gamma_col].as_double();
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "  %-8.2f", gamma);
+      line = buf;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " %12llu",
+                  static_cast<unsigned long long>(row[n_col].as_uint64()));
+    line += buf;
+  }
+  flush();
+
+  std::fprintf(out, "\npower achieved at selected (N, gamma)\n  %-6s", "N");
+  for (const double g : {0.6, 0.7, 0.75, 0.8, 0.9}) {
+    std::fprintf(out, "  g=%.2f", g);
+  }
+  std::fprintf(out, "\n");
+  for (const std::size_t n : {10u, 20u, 29u, 50u, 100u}) {
+    std::fprintf(out, "  %-6zu", static_cast<std::size_t>(n));
+    for (const double g : {0.6, 0.7, 0.75, 0.8, 0.9}) {
+      std::fprintf(out, "  %5.1f%%", 100.0 * stats::noether_power(n, g, 0.05));
+    }
+    std::fprintf(out, "\n");
+  }
+  std::fprintf(out,
+               "\nShape check vs paper: N(0.75, 0.05, 0.05) == 29 and the "
+               "curve\nexplodes below gamma ~ 0.6 (>150 runs).\n");
+}
+
+// --------------------------------------------------------------- tableD
+
+ResultTable run_tableD(const StudySpec& spec) {
+  ResultTable t;
+  t.columns = {"seq", "task", "param",   "scale_kind",
+               "low", "high", "default", "integer"};
+  const auto tasks = resolve_tasks(spec);
+  const auto task_slice = slice_of(spec, tasks.size());
+  GroupSeq gs;
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+    // Every shard walks all tasks to keep the global seq offsets exact;
+    // only in-slice tasks emit rows. Search spaces and defaults are
+    // scale-invariant (scale only sizes data pools and epochs), so the
+    // registry is queried at a minimal scale rather than materializing
+    // every task's full pool on every shard.
+    const auto cs = casestudies::make_case_study(tasks[ti], 0.05);
+    const auto& dims = cs.pipeline->search_space().dims();
+    const std::size_t start = gs.enter(dims.size());
+    if (ti < task_slice.begin || ti >= task_slice.end) continue;
+    const auto defaults = cs.pipeline->default_params();
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      const auto& dim = dims[d];
+      const auto it = defaults.find(dim.name);
+      t.add_row({Cell{gs.seq(start, d)}, Cell{tasks[ti]}, Cell{dim.name},
+                 Cell{dim.scale == hpo::ScaleKind::kLog ? "log" : "linear"},
+                 Cell{dim.lo}, Cell{dim.hi},
+                 Cell{it != defaults.end() ? it->second : 0.0},
+                 Cell{static_cast<std::size_t>(dim.integer ? 1 : 0)}});
+    }
+  }
+  return t;
+}
+
+void summarize_tableD(const ResultTable& t, std::FILE* out) {
+  const std::size_t task_col = t.column_index("task");
+  std::string task;
+  for (const Row& row : t.rows) {
+    if (row[task_col].as_string() != task) {
+      task = row[task_col].as_string();
+      std::fprintf(out, "\n%s\n", task.c_str());
+      std::fprintf(out, "  %-16s %-10s %12s %12s %10s\n", "hyperparameter",
+                   "scale", "low", "high", "default");
+    }
+    std::fprintf(out, "  %-16s %-10s %12g %12g %10g%s\n",
+                 row[t.column_index("param")].as_string().c_str(),
+                 row[t.column_index("scale_kind")].as_string().c_str(),
+                 row[t.column_index("low")].as_double(),
+                 row[t.column_index("high")].as_double(),
+                 row[t.column_index("default")].as_double(),
+                 row[t.column_index("integer")].as_uint64() != 0
+                     ? "  (integer)"
+                     : "");
+  }
+}
+
+}  // namespace varbench::study::figures

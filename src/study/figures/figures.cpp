@@ -1,0 +1,460 @@
+// The figure registry: kind metadata, per-kind defaults (including the
+// VARBENCH_FULL paper sizes), and the declared-field serialization that
+// keeps one shared FigureParams struct strict per kind.
+#include "src/study/figures/figures.h"
+
+#include <stdexcept>
+
+namespace varbench::study::figures {
+
+namespace {
+
+constexpr std::string_view kDomain = "spec";
+
+// ------------------------------------------------------- field handlers
+
+io::Json size_array(const std::vector<std::size_t>& v) {
+  io::Json out = io::Json::array();
+  for (const std::size_t x : v) out.push_back(io::Json{x});
+  return out;
+}
+
+std::vector<std::size_t> read_size_array(const io::Json& v,
+                                         std::string_view key) {
+  std::vector<std::size_t> out;
+  for (const io::Json& item : v.as_array()) {
+    out.push_back(io::read_size(item, kDomain, key));
+  }
+  return out;
+}
+
+std::vector<double> read_double_array(const io::Json& v,
+                                      std::string_view key) {
+  std::vector<double> out;
+  for (const io::Json& item : v.as_array()) {
+    out.push_back(io::read_double(item, kDomain, key));
+  }
+  return out;
+}
+
+/// One FigureParams field: how to emit it and how to read it back. The
+/// table is the single source of truth for key names; a kind's `fields`
+/// mask selects rows.
+struct FieldHandler {
+  unsigned mask;
+  std::string_view key;
+  void (*emit)(const StudySpec&, io::Json&);
+  void (*read)(StudySpec&, const io::Json&);
+};
+
+const FieldHandler kFieldHandlers[] = {
+    {kFieldTasks, "tasks",
+     [](const StudySpec& s, io::Json& p) {
+       p.set("tasks", io::string_array(s.figure.tasks));
+     },
+     [](StudySpec& s, const io::Json& v) {
+       s.figure.tasks = io::read_string_array(v, kDomain, "tasks");
+     }},
+    {kFieldHpoAlgorithms, "hpo_algorithms",
+     [](const StudySpec& s, io::Json& p) {
+       p.set("hpo_algorithms", io::string_array(s.figure.hpo_algorithms));
+     },
+     [](StudySpec& s, const io::Json& v) {
+       s.figure.hpo_algorithms =
+           io::read_string_array(v, kDomain, "hpo_algorithms");
+     }},
+    {kFieldHpoRepetitions, "hpo_repetitions",
+     [](const StudySpec& s, io::Json& p) {
+       p.set("hpo_repetitions", io::Json{s.figure.hpo_repetitions});
+     },
+     [](StudySpec& s, const io::Json& v) {
+       s.figure.hpo_repetitions = io::read_size(v, kDomain, "hpo_repetitions");
+     }},
+    {kFieldHpoBudget, "hpo_budget",
+     [](const StudySpec& s, io::Json& p) {
+       p.set("hpo_budget", io::Json{s.figure.hpo_budget});
+     },
+     [](StudySpec& s, const io::Json& v) {
+       s.figure.hpo_budget = io::read_size(v, kDomain, "hpo_budget");
+     }},
+    {kFieldBudget, "budget",
+     [](const StudySpec& s, io::Json& p) {
+       p.set("budget", io::Json{s.figure.budget});
+     },
+     [](StudySpec& s, const io::Json& v) {
+       s.figure.budget = io::read_size(v, kDomain, "budget");
+     }},
+    {kFieldK, "k",
+     [](const StudySpec& s, io::Json& p) { p.set("k", io::Json{s.figure.k}); },
+     [](StudySpec& s, const io::Json& v) {
+       s.figure.k = io::read_size(v, kDomain, "k");
+     }},
+    {kFieldGamma, "gamma",
+     [](const StudySpec& s, io::Json& p) {
+       p.set("gamma", io::Json{s.figure.gamma});
+     },
+     [](StudySpec& s, const io::Json& v) {
+       s.figure.gamma = io::read_double(v, kDomain, "gamma");
+     }},
+    {kFieldResamples, "resamples",
+     [](const StudySpec& s, io::Json& p) {
+       p.set("resamples", io::Json{s.figure.resamples});
+     },
+     [](StudySpec& s, const io::Json& v) {
+       s.figure.resamples = io::read_size(v, kDomain, "resamples");
+     }},
+    {kFieldKGrid, "k_grid",
+     [](const StudySpec& s, io::Json& p) {
+       p.set("k_grid", size_array(s.figure.k_grid));
+     },
+     [](StudySpec& s, const io::Json& v) {
+       s.figure.k_grid = read_size_array(v, "k_grid");
+     }},
+    {kFieldTGrid, "t_grid",
+     [](const StudySpec& s, io::Json& p) {
+       p.set("t_grid", size_array(s.figure.t_grid));
+     },
+     [](StudySpec& s, const io::Json& v) {
+       s.figure.t_grid = read_size_array(v, "t_grid");
+     }},
+    {kFieldGammaGrid, "gamma_grid",
+     [](const StudySpec& s, io::Json& p) {
+       p.set("gamma_grid", io::double_array(s.figure.gamma_grid));
+     },
+     [](StudySpec& s, const io::Json& v) {
+       s.figure.gamma_grid = read_double_array(v, "gamma_grid");
+     }},
+    {kFieldBetaGrid, "beta_grid",
+     [](const StudySpec& s, io::Json& p) {
+       p.set("beta_grid", io::double_array(s.figure.beta_grid));
+     },
+     [](StudySpec& s, const io::Json& v) {
+       s.figure.beta_grid = read_double_array(v, "beta_grid");
+     }},
+    {kFieldPGrid, "p_grid",
+     [](const StudySpec& s, io::Json& p) {
+       p.set("p_grid", io::double_array(s.figure.p_grid));
+     },
+     [](StudySpec& s, const io::Json& v) {
+       s.figure.p_grid = read_double_array(v, "p_grid");
+     }},
+    {kFieldEdges, "edges",
+     [](const StudySpec& s, io::Json& p) {
+       p.set("edges", io::double_array(s.figure.edges));
+     },
+     [](StudySpec& s, const io::Json& v) {
+       s.figure.edges = read_double_array(v, "edges");
+     }},
+};
+
+// ------------------------------------------------------- kind defaults
+
+void defaults_fig01(StudySpec& s) {
+  s.case_study = "all";
+  s.repetitions = 30;
+  s.figure.hpo_algorithms = {"noisy_grid_search", "random_search",
+                             "bayes_opt"};
+  s.figure.hpo_repetitions = 5;
+  s.figure.hpo_budget = 12;
+}
+
+void full_fig01(StudySpec& s) {
+  s.repetitions = 200;
+  s.figure.hpo_repetitions = 20;
+  s.figure.hpo_budget = 200;
+}
+
+void defaults_fig02(StudySpec& s) {
+  s.case_study = "all";
+  s.repetitions = 25;
+  s.figure.tasks = {"glue_rte_bert", "glue_sst2_bert", "cifar10_vgg11"};
+}
+
+void full_fig02(StudySpec& s) { s.repetitions = 100; }
+
+void defaults_fig03(StudySpec& s) {
+  s.case_study = "all";
+  s.repetitions = 1;
+}
+
+void defaults_fig04(StudySpec& s) {
+  s.case_study = "all";
+  s.repetitions = 1;
+  s.figure.k_grid = {10, 50, 100};
+  s.figure.t_grid = {50, 100, 200};
+}
+
+void defaults_fig05(StudySpec& s) {
+  s.case_study = "all";
+  s.repetitions = 60;
+  s.figure.k_grid = {1, 2, 5, 10, 20, 50, 100};
+}
+
+void full_fig05(StudySpec& s) { s.repetitions = 200; }
+
+void defaults_fig06(StudySpec& s) {
+  s.case_study = "all";
+  s.repetitions = 100;
+  s.figure.k = 50;
+  s.figure.gamma = 0.75;
+  s.figure.resamples = 100;
+}
+
+void full_fig06(StudySpec& s) { s.repetitions = 500; }
+
+void defaults_figC1(StudySpec& s) {
+  s.case_study = "all";
+  s.repetitions = 1;
+  s.figure.gamma_grid = {0.55, 0.60, 0.65, 0.70, 0.75,
+                         0.80, 0.85, 0.90, 0.95, 0.99};
+  s.figure.beta_grid = {0.05, 0.10, 0.20};
+}
+
+void defaults_figF2(StudySpec& s) {
+  s.case_study = "all";
+  s.repetitions = 5;
+  s.figure.tasks = {"glue_rte_bert", "cifar10_vgg11"};
+  s.figure.hpo_algorithms = {"bayes_opt", "noisy_grid_search",
+                             "random_search"};
+  s.figure.budget = 24;
+}
+
+void full_figF2(StudySpec& s) {
+  s.repetitions = 20;
+  s.figure.budget = 200;
+}
+
+void defaults_figG3(StudySpec& s) {
+  s.case_study = "all";
+  s.repetitions = 24;
+}
+
+void full_figG3(StudySpec& s) { s.repetitions = 200; }
+
+void defaults_figH5(StudySpec& s) {
+  s.case_study = "all";
+  s.repetitions = 300;
+  s.figure.k = 100;
+}
+
+void full_figH5(StudySpec& s) { s.repetitions = 1000; }
+
+void defaults_figI6(StudySpec& s) {
+  s.case_study = "cifar10_vgg11";
+  s.repetitions = 120;
+  s.figure.k = 50;
+  s.figure.gamma = 0.75;
+  s.figure.resamples = 100;
+  s.figure.k_grid = {10, 29, 50, 100};
+  s.figure.gamma_grid = {0.6, 0.7, 0.75, 0.8, 0.9};
+  s.figure.p_grid = {0.5, 0.6, 0.7, 0.8};
+}
+
+void full_figI6(StudySpec& s) { s.repetitions = 500; }
+
+void defaults_ablation_pairing(StudySpec& s) {
+  s.case_study = "synthetic";
+  s.repetitions = 150;
+  s.figure.edges = {0.0, 0.005, 0.01, 0.02, 0.04};
+  s.figure.k = 29;
+  s.figure.gamma = 0.75;
+  s.figure.resamples = 200;
+}
+
+void full_ablation_pairing(StudySpec& s) { s.repetitions = 500; }
+
+void defaults_ablation_splitters(StudySpec& s) {
+  s.case_study = "synthetic";
+  s.repetitions = 12;
+}
+
+void full_ablation_splitters(StudySpec& s) { s.repetitions = 50; }
+
+void defaults_multi_contestants(StudySpec& s) {
+  s.case_study = "cifar10_vgg11";
+  s.repetitions = 16;
+  s.figure.gamma = 0.75;
+  s.figure.resamples = 500;
+}
+
+void full_multi_contestants(StudySpec& s) { s.repetitions = 50; }
+
+void defaults_multi_dataset(StudySpec& s) {
+  s.case_study = "all";
+  s.repetitions = 10;
+}
+
+void full_multi_dataset(StudySpec& s) { s.repetitions = 30; }
+
+void defaults_table8(StudySpec& s) {
+  s.case_study = "mhc_mlp";
+  s.scale = 0.5;
+  s.repetitions = 5;
+}
+
+void full_table8(StudySpec& s) { s.repetitions = 20; }
+
+void defaults_tableD(StudySpec& s) {
+  s.case_study = "all";
+  s.repetitions = 1;
+}
+
+// ------------------------------------------------------------ registry
+
+const std::vector<FigureDef>& defs() {
+  static const std::vector<FigureDef> kDefs = {
+      {StudyKind::kFig01VarianceSources, "fig01_variance_sources",
+       "Fig. 1: variance decomposition per source, across case studies",
+       "data bootstrap dominates; HPO variance is on par with weight init; "
+       "numerical noise is negligible except for the VOC pipeline",
+       kFieldTasks | kFieldHpoAlgorithms | kFieldHpoRepetitions |
+           kFieldHpoBudget,
+       false, defaults_fig01, full_fig01, run_fig01, summarize_fig01},
+      {StudyKind::kFig02Binomial, "fig02_binomial_model",
+       "Fig. 2: binomial model of test-set sampling noise",
+       "std of accuracy from bootstrap replicates matches sqrt(p(1-p)/n') — "
+       "the test-set size limits the measurable precision",
+       kFieldTasks, false, defaults_fig02, full_fig02, run_fig02,
+       summarize_fig02},
+      {StudyKind::kFig03Sota, "fig03_published_improvements",
+       "Fig. 3: published SOTA increments vs benchmark variance",
+       "many year-over-year 'SOTA' improvements fall inside the benchmark's "
+       "noise band and are not statistically significant",
+       0, true, defaults_fig03, nullptr, run_fig03, summarize_fig03},
+      {StudyKind::kFig04EstimatorCost, "fig04_estimator_cost",
+       "Fig. 4 / §3.3: estimator compute cost (counted fits)",
+       "IdealEst(k=100) costs ~51x more than FixHOptEst(k=100) at T=200",
+       kFieldKGrid | kFieldTGrid, true, defaults_fig04, nullptr, run_fig04,
+       summarize_fig04},
+      {StudyKind::kFig05EstimatorStderr, "fig05_estimator_stderr",
+       "Fig. 5 / H.4: standard error of estimators vs number of samples k",
+       "FixHOptEst(k,All) approaches IdealEst(k) at no extra cost; "
+       "FixHOptEst(k,Init) plateaus around the equivalent of IdealEst(k=2)",
+       kFieldTasks | kFieldKGrid, false, defaults_fig05, full_fig05,
+       run_fig05, summarize_fig05},
+      {StudyKind::kFig06DetectionRates, "fig06_detection_rates",
+       "Fig. 6: detection rates of comparison criteria vs true P(A>B)",
+       "single-point: ~10% FP and ~75% FN; average: <5% FP but ~90% FN; "
+       "P(A>B) test: ~5% FP and ~30% FN, close to the oracle",
+       kFieldTasks | kFieldK | kFieldGamma | kFieldResamples | kFieldPGrid,
+       false, defaults_fig06, full_fig06, run_fig06, summarize_fig06},
+      {StudyKind::kFigC1SampleSize, "figC1_sample_size",
+       "Fig. C.1: Noether minimum sample size vs threshold gamma",
+       "N=29 at the recommended gamma=0.75 (alpha=beta=0.05); detection "
+       "below gamma=0.6 requires impractically many runs",
+       kFieldGammaGrid | kFieldBetaGrid, true, defaults_figC1, nullptr,
+       run_figC1, summarize_figC1},
+      {StudyKind::kFigF2HpoCurves, "figF2_hpo_curves",
+       "Fig. F.2: HPO optimization curves (best-so-far risk over xi_H seeds)",
+       "typical search spaces are well optimized by all three algorithms "
+       "and the across-seed std stabilizes early",
+       kFieldTasks | kFieldHpoAlgorithms | kFieldBudget, false,
+       defaults_figF2, full_figF2, run_figF2, summarize_figF2},
+      {StudyKind::kFigG3Normality, "figG3_normality",
+       "Fig. G.3: Shapiro-Wilk normality of per-source distributions",
+       "performance distributions are close to normal for most "
+       "tasks/sources (tiny test sets discretize accuracies)",
+       kFieldTasks, false, defaults_figG3, full_figG3, run_figG3,
+       summarize_figG3},
+      {StudyKind::kFigH5MseDecomposition, "figH5_mse_decomposition",
+       "Fig. H.5: MSE decomposition of the estimators (bias, Var, rho, MSE)",
+       "biased estimators share a similar bias; their MSE differences come "
+       "from variance, which drops as more sources are randomized",
+       kFieldTasks | kFieldK, false, defaults_figH5, full_figH5, run_figH5,
+       summarize_figH5},
+      {StudyKind::kFigI6Robustness, "figI6_robustness",
+       "Fig. I.6: robustness of comparison methods vs sample size and gamma",
+       "the P(A>B) test's detection rate converges with sample size and "
+       "degrades gracefully as gamma moves; averages stay conservative",
+       kFieldK | kFieldGamma | kFieldResamples | kFieldKGrid |
+           kFieldGammaGrid | kFieldPGrid,
+       false, defaults_figI6, full_figI6, run_figI6, summarize_figI6},
+      {StudyKind::kAblationPairing, "ablation_pairing",
+       "Ablation (App. C.2): paired vs unpaired comparisons",
+       "pairing marginalizes shared variance, so smaller differences become "
+       "detectable at the same N",
+       kFieldEdges | kFieldK | kFieldGamma | kFieldResamples, false,
+       defaults_ablation_pairing, full_ablation_pairing, run_ablation_pairing,
+       summarize_ablation_pairing},
+      {StudyKind::kAblationSplitters, "ablation_splitters",
+       "Ablation (App. B): out-of-bootstrap vs cross-validation vs fixed "
+       "split",
+       "bootstrap-based splitting gives flexible sample sizes and avoids "
+       "the correlation-driven variance underestimation of cross-validation",
+       0, false, defaults_ablation_splitters, full_ablation_splitters,
+       run_ablation_splitters, summarize_ablation_splitters},
+      {StudyKind::kMultiContestants, "multi_contestants",
+       "§6: competitions with many contestants",
+       "several methods are statistically indistinguishable and rankings "
+       "flip under test-set resampling",
+       kFieldGamma | kFieldResamples, false, defaults_multi_contestants,
+       full_multi_contestants, run_multi_contestants,
+       summarize_multi_contestants},
+      {StudyKind::kMultiDataset, "multi_dataset",
+       "§6: comparing algorithms across multiple datasets",
+       "Friedman/Nemenyi have little power on 3-5 datasets; Dror et al.'s "
+       "per-dataset counting works at small N",
+       kFieldTasks, false, defaults_multi_dataset, full_multi_dataset,
+       run_multi_dataset, summarize_multi_dataset},
+      {StudyKind::kTable8MhcModels, "table8_mhc_models",
+       "Tables 8/9: model-design comparison on the MHC binding task",
+       "the three designs perform comparably; ensembling helps modestly",
+       0, false, defaults_table8, full_table8, run_table8, summarize_table8},
+      {StudyKind::kTableDSearchSpaces, "tableD_search_spaces",
+       "Tables 2/3/5/6: hyperparameter search spaces and defaults",
+       "search spaces cover the optimal values reported by the original "
+       "studies while remaining wide enough to include suboptimal ones",
+       kFieldTasks, true, defaults_tableD, nullptr, run_tableD,
+       summarize_tableD},
+  };
+  return kDefs;
+}
+
+}  // namespace
+
+const std::vector<FigureDef>& all_figures() { return defs(); }
+
+bool is_figure_kind(StudyKind kind) { return find_figure(kind) != nullptr; }
+
+const FigureDef* find_figure(StudyKind kind) {
+  for (const FigureDef& def : defs()) {
+    if (def.kind == kind) return &def;
+  }
+  return nullptr;
+}
+
+StudySpec default_figure_spec(StudyKind kind) {
+  const FigureDef* def = find_figure(kind);
+  if (def == nullptr) {
+    throw std::invalid_argument("default_figure_spec: '" +
+                                std::string{to_string(kind)} +
+                                "' is not a figure kind");
+  }
+  StudySpec spec;
+  spec.kind = kind;
+  def->defaults(spec);
+  return spec;
+}
+
+void apply_figure_defaults(StudySpec& spec) {
+  if (const FigureDef* def = find_figure(spec.kind)) def->defaults(spec);
+}
+
+void figure_params_to_json(const StudySpec& spec, io::Json& params) {
+  const FigureDef* def = find_figure(spec.kind);
+  if (def == nullptr) return;
+  for (const FieldHandler& f : kFieldHandlers) {
+    if ((def->fields & f.mask) != 0) f.emit(spec, params);
+  }
+}
+
+void figure_params_from_json(StudySpec& spec, io::ObjectReader& r) {
+  const FigureDef* def = find_figure(spec.kind);
+  if (def == nullptr) return;
+  for (const FieldHandler& f : kFieldHandlers) {
+    if ((def->fields & f.mask) == 0) continue;
+    if (const io::Json* v = r.find(f.key)) f.read(spec, *v);
+  }
+}
+
+}  // namespace varbench::study::figures

@@ -2,11 +2,29 @@
 
 #include <algorithm>
 
+#include "src/io/spec_reader.h"
+
 namespace varbench::study {
 
 namespace {
 
+// Schema evolution (docs/study_api.md): writers emit v1, the lowest schema
+// every deployed reader understands; readers accept v1 (as always) and the
+// reserved-forward v2, whose contract is *strict tolerance* — the same
+// layout, but any field this build does not know is rejected with a
+// message naming the offending JSON path instead of being silently
+// dropped. A v3 (or unknown) schema stays a hard "unsupported schema"
+// error listing both readable versions.
 constexpr std::string_view kTableSchema = "varbench.result_table.v1";
+constexpr std::string_view kTableSchemaV2 = "varbench.result_table.v2";
+
+/// v2 strictness: every key of `obj` must be known; violations name the
+/// JSON path ("$.meta.frobnicate") via the shared io:: helper.
+void reject_unknown_fields(const io::Json& obj, std::string_view path,
+                           std::initializer_list<std::string_view> known) {
+  io::reject_unknown_fields(obj, "result table", kTableSchemaV2, path,
+                            known);
+}
 
 void require_scalar(const Cell& cell) {
   if (cell.is_array() || cell.is_object()) {
@@ -121,10 +139,22 @@ ResultTable ResultTable::from_json(const io::Json& doc) {
     throw io::JsonError("result table: document must be a JSON object");
   }
   const std::string& schema = doc.at("schema").as_string();
-  if (schema != kTableSchema) {
+  if (schema != kTableSchema && schema != kTableSchemaV2) {
     throw io::JsonError("result table: unsupported schema '" + schema +
                         "' (this build reads '" + std::string{kTableSchema} +
-                        "')");
+                        "' and '" + std::string{kTableSchemaV2} + "')");
+  }
+  if (schema == kTableSchemaV2) {
+    reject_unknown_fields(
+        doc, "$", {"schema", "name", "spec", "meta", "columns", "rows",
+                   "provenance"});
+    reject_unknown_fields(doc.at("meta"), "$.meta", {"seed", "shard"});
+    reject_unknown_fields(doc.at("meta").at("shard"), "$.meta.shard",
+                          {"index", "count"});
+    if (const io::Json* prov = doc.find("provenance")) {
+      reject_unknown_fields(*prov, "$.provenance",
+                            {"threads", "wall_time_ms"});
+    }
   }
   ResultTable t;
   t.name = doc.at("name").as_string();

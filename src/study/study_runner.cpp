@@ -15,6 +15,7 @@
 #include "src/exec/parallel_replicate.h"
 #include "src/stats/descriptive.h"
 #include "src/stats/prob_outperform.h"
+#include "src/study/figures/figures.h"
 
 namespace varbench::study {
 
@@ -404,6 +405,9 @@ std::map<StudyKind, StudyRunner>& runner_map() {
     m[StudyKind::kHpo] = run_hpo_study;
     m[StudyKind::kEstimator] = run_estimator;
     m[StudyKind::kDetection] = run_detection;
+    for (const auto& def : figures::all_figures()) {
+      m[def.kind] = def.run;
+    }
     return m;
   }();
   return runners;
@@ -433,13 +437,29 @@ bool has_study_runner(StudyKind kind) {
   return runner_map().count(kind) != 0;
 }
 
-ResultTable run_study(const StudySpec& spec) {
-  const auto it = runner_map().find(spec.kind);
-  if (it == runner_map().end()) {
+void validate_study_spec(const StudySpec& spec) {
+  if (runner_map().count(spec.kind) == 0) {
     throw std::invalid_argument("run_study: no runner registered for kind '" +
                                 std::string{to_string(spec.kind)} + "'");
   }
-  validate_case_study(spec);
+  if (const auto* def = figures::find_figure(spec.kind)) {
+    // Figure kinds validate their own task sets ("all"/"synthetic" are
+    // legal, figure.tasks names the real studies); analytic kinds
+    // enumerate a fixed grid, so a repetitions override would silently
+    // mean nothing — reject it instead.
+    if (def->fixed_repetitions && spec.repetitions != 1) {
+      throw std::invalid_argument(
+          "study '" + std::string{def->name} + "' enumerates a fixed grid; " +
+          "'repetitions' must stay 1 (shard the grid with --shard instead)");
+    }
+  } else {
+    validate_case_study(spec);
+  }
+}
+
+ResultTable run_study(const StudySpec& spec) {
+  validate_study_spec(spec);
+  const auto it = runner_map().find(spec.kind);
   const auto start = std::chrono::steady_clock::now();
   ResultTable table = it->second(spec);
   const auto elapsed = std::chrono::steady_clock::now() - start;
@@ -460,6 +480,69 @@ ResultTable run_study(const StudySpec& spec) {
   return table;
 }
 
+std::vector<StudyKindInfo> registered_study_kinds() {
+  // Titles for the original kinds; the kind enumeration itself comes from
+  // base_study_kinds() (the parser's own name table), so a kind added
+  // there appears here automatically — at worst with the fallback title.
+  const auto base_title = [](StudyKind kind) -> std::string_view {
+    switch (kind) {
+      case StudyKind::kVariance:
+        return "§2.2 variance-source decomposition of one case study";
+      case StudyKind::kCompare:
+        return "§4/App. C paired comparison with the P(A>B) test";
+      case StudyKind::kHpo:
+        return "one HOpt run (inherently sequential)";
+      case StudyKind::kEstimator:
+        return "§3.2 IdealEst / FixHOptEst sweep on one case study";
+      case StudyKind::kDetection:
+        return "§4.2 detection-rate simulation for one calibration";
+      default:
+        return "(no description registered)";
+    }
+  };
+  std::vector<StudyKindInfo> out;
+  const auto param_keys = [](const StudySpec& spec) {
+    const io::Json doc = spec.to_json();
+    std::vector<std::string> keys;
+    for (const auto& [key, value] : doc.at("params").as_object()) {
+      keys.push_back(key);
+    }
+    return keys;
+  };
+  for (const StudyKind kind : base_study_kinds()) {
+    StudySpec spec;
+    spec.kind = kind;
+    out.push_back(StudyKindInfo{kind, std::string{to_string(kind)},
+                                std::string{base_title(kind)},
+                                kind != StudyKind::kHpo, param_keys(spec)});
+  }
+  for (const auto& def : figures::all_figures()) {
+    out.push_back(StudyKindInfo{def.kind, std::string{def.name},
+                                std::string{def.title}, true,
+                                param_keys(figures::default_figure_spec(
+                                    def.kind))});
+  }
+  return out;
+}
+
+std::string list_study_kinds_text() {
+  std::string out = "registered study kinds (varbench run dispatches on "
+                    "spec 'kind'):\n";
+  for (const auto& info : registered_study_kinds()) {
+    out += "  " + info.name;
+    out.append(info.name.size() < 26 ? 26 - info.name.size() : 1, ' ');
+    out += info.title + "\n";
+    out += "    ";
+    out += info.shardable ? "shardable" : "not shardable";
+    if (!info.param_keys.empty()) {
+      out += "; params:";
+      for (const auto& key : info.param_keys) out += " " + key;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
 void print_summary(const ResultTable& table, std::FILE* out) {
   if (!table.is_complete()) {
     std::fprintf(out,
@@ -473,6 +556,10 @@ void print_summary(const ResultTable& table, std::FILE* out) {
     std::fprintf(out, "'%s': %zu rows × %zu columns (seed %llu)\n",
                  table.name.c_str(), table.rows.size(), table.columns.size(),
                  static_cast<unsigned long long>(table.seed));
+    return;
+  }
+  if (const auto* def = figures::find_figure(table.spec->kind)) {
+    def->summarize(table, out);
     return;
   }
   switch (table.spec->kind) {
@@ -491,6 +578,8 @@ void print_summary(const ResultTable& table, std::FILE* out) {
     case StudyKind::kDetection:
       summarize_detection(table, out);
       return;
+    default:
+      return;  // figure kinds handled above
   }
 }
 

@@ -29,9 +29,16 @@ void register_study_runner(StudyKind kind, StudyRunner runner);
 
 [[nodiscard]] bool has_study_runner(StudyKind kind);
 
-/// Validate the spec (known case study, kind-specific constraints), run
-/// the registered runner, and stamp the artifact metadata. Throws
-/// io::JsonError / std::invalid_argument with actionable messages.
+/// The pre-run checks of run_study without running anything: a runner is
+/// registered, the case study exists (original kinds), and analytic
+/// figure kinds keep repetitions == 1. Used by `varbench campaign
+/// --plan-only` so a plan-clean campaign cannot fail these checks at
+/// worker time. Throws std::invalid_argument with actionable messages.
+void validate_study_spec(const StudySpec& spec);
+
+/// Validate the spec (validate_study_spec), run the registered runner,
+/// and stamp the artifact metadata. Throws io::JsonError /
+/// std::invalid_argument with actionable messages.
 [[nodiscard]] ResultTable run_study(const StudySpec& spec);
 
 /// Human-readable summary of a *complete* table (shard 1/1), computed from
@@ -40,5 +47,24 @@ void register_study_runner(StudyKind kind, StudyRunner runner);
 /// tables print the same numbers the legacy subcommands printed. For a
 /// partial (shard) table, prints a note pointing at `varbench merge`.
 void print_summary(const ResultTable& table, std::FILE* out);
+
+/// One row of `varbench list`: everything a user needs to write a spec for
+/// the kind — its name, what it reproduces, whether `--shard` applies, and
+/// the `--set params.<key>` knobs it accepts.
+struct StudyKindInfo {
+  StudyKind kind = StudyKind::kVariance;
+  std::string name;
+  std::string title;
+  bool shardable = true;
+  std::vector<std::string> param_keys;
+};
+
+/// Every registered study kind (the original five plus the figure
+/// registry), in registry order. The param keys are derived from the
+/// kind's own serialization, so they cannot drift from the parser.
+[[nodiscard]] std::vector<StudyKindInfo> registered_study_kinds();
+
+/// The `varbench list` rendering of registered_study_kinds().
+[[nodiscard]] std::string list_study_kinds_text();
 
 }  // namespace varbench::study

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/io/spec_reader.h"
+#include "src/study/figures/figures.h"
 
 namespace varbench::study {
 
@@ -16,6 +17,8 @@ struct KindName {
   std::string_view name;
 };
 
+// The original five kinds; figure kinds resolve through the figure
+// registry (src/study/figures/), which owns their names.
 constexpr KindName kKindNames[] = {
     {StudyKind::kVariance, "variance"}, {StudyKind::kCompare, "compare"},
     {StudyKind::kHpo, "hpo"},           {StudyKind::kEstimator, "estimator"},
@@ -27,6 +30,9 @@ std::string known_kinds() {
   for (const auto& [kind, name] : kKindNames) {
     if (!out.empty()) out += ", ";
     out += "'" + std::string{name} + "'";
+  }
+  for (const auto& def : figures::all_figures()) {
+    out += ", '" + std::string{def.name} + "'";
   }
   return out;
 }
@@ -57,6 +63,10 @@ std::vector<std::string> read_string_array(const io::Json& v,
 
 io::Json params_to_json(const StudySpec& spec) {
   io::Json p = io::Json::object();
+  if (figures::is_figure_kind(spec.kind)) {
+    figures::figure_params_to_json(spec, p);
+    return p;
+  }
   switch (spec.kind) {
     case StudyKind::kVariance:
       p.set("hpo_algorithms", string_array(spec.variance.hpo_algorithms));
@@ -86,12 +96,19 @@ io::Json params_to_json(const StudySpec& spec) {
       p.set("resamples", io::Json{spec.detection.resamples});
       p.set("p_grid", double_array(spec.detection.p_grid));
       break;
+    default:
+      break;  // figure kinds returned above
   }
   return p;
 }
 
 void params_from_json(StudySpec& spec, const io::Json& p) {
   io::ObjectReader r{p, kDomain, "'params'"};
+  if (figures::is_figure_kind(spec.kind)) {
+    figures::figure_params_from_json(spec, r);
+    r.reject_unknown_keys();
+    return;
+  }
   switch (spec.kind) {
     case StudyKind::kVariance:
       if (const auto* v = r.find("hpo_algorithms")) {
@@ -153,6 +170,8 @@ void params_from_json(StudySpec& spec, const io::Json& p) {
         }
       }
       break;
+    default:
+      break;  // figure kinds returned above
   }
   r.reject_unknown_keys();
 }
@@ -180,12 +199,22 @@ std::string_view to_string(StudyKind kind) {
   for (const auto& [k, name] : kKindNames) {
     if (k == kind) return name;
   }
+  if (const auto* def = figures::find_figure(kind)) return def->name;
   return "unknown";
+}
+
+std::vector<StudyKind> base_study_kinds() {
+  std::vector<StudyKind> out;
+  for (const auto& [kind, name] : kKindNames) out.push_back(kind);
+  return out;
 }
 
 StudyKind study_kind_from_string(std::string_view name) {
   for (const auto& [kind, n] : kKindNames) {
     if (n == name) return kind;
+  }
+  for (const auto& def : figures::all_figures()) {
+    if (def.name == name) return def.kind;
   }
   throw io::JsonError("spec: unknown study kind '" + std::string{name} +
                       "' (known kinds: " + known_kinds() + ")");
@@ -256,9 +285,17 @@ StudySpec StudySpec::from_json(const io::Json& doc) {
   StudySpec spec;
   spec.kind = study_kind_from_string(read_string(r.at("kind"), "kind"));
   // The shared default (20) is wrong for the one-run hpo kind; a spec that
-  // omits 'repetitions' should be valid for every kind.
+  // omits 'repetitions' should be valid for every kind. Figure kinds get
+  // their whole default block (case_study, repetitions, figure params).
   if (spec.kind == StudyKind::kHpo) spec.repetitions = 1;
-  spec.case_study = read_string(r.at("case_study"), "case_study");
+  figures::apply_figure_defaults(spec);
+  if (const auto* v = r.find("case_study")) {
+    spec.case_study = read_string(*v, "case_study");
+  } else if (spec.case_study.empty()) {
+    // The original five kinds have no default — keep the standard
+    // missing-key error.
+    spec.case_study = read_string(r.at("case_study"), "case_study");
+  }
   if (const auto* v = r.find("scale")) spec.scale = read_double(*v, "scale");
   if (const auto* v = r.find("seed")) {
     spec.seed = read_size(*v, "seed");  // u64 == size_t on this platform

@@ -19,18 +19,47 @@
 namespace varbench::study {
 
 /// The workflows reachable through run_study(). One enumerator per paper
-/// experiment family; `varbench run` dispatches on this.
+/// experiment family; `varbench run` dispatches on this, and `varbench
+/// list` enumerates the registry.
 enum class StudyKind : int {
   kVariance,   // §2.2 variance-source decomposition (Fig. 1)
   kCompare,    // §4/App. C paired comparison with the P(A>B) test
   kHpo,        // one HOpt run (tuning showcase; sequential)
   kEstimator,  // §3.2 IdealEst / FixHOptEst sweep (Fig. 5 empirical)
   kDetection,  // §4.2 detection-rate simulation (Fig. 6)
+
+  // Figure/table study kinds (src/study/figures/): each reproduces one of
+  // the paper's headline artifacts as a raw-measure ResultTable, shardable
+  // through the same `--shard i/N` + merge contract as the kinds above.
+  // The bench/ binaries are thin spec-builders over these.
+  kFig01VarianceSources,   // Fig. 1 across every case study
+  kFig02Binomial,          // Fig. 2 binomial model of test-set noise
+  kFig03Sota,              // Fig. 3 published SOTA increments vs σ
+  kFig04EstimatorCost,     // Fig. 4 / §3.3 fit-count cost accounting
+  kFig05EstimatorStderr,   // Fig. 5 / H.4 estimator stderr vs k
+  kFig06DetectionRates,    // Fig. 6 detection-rate curves, all tasks
+  kFigC1SampleSize,        // Fig. C.1 Noether minimum sample size
+  kFigF2HpoCurves,         // Fig. F.2 HPO optimization curves
+  kFigG3Normality,         // Fig. G.3 per-source normality
+  kFigH5MseDecomposition,  // Fig. H.5 estimator MSE decomposition
+  kFigI6Robustness,        // Fig. I.6 robustness vs k and γ
+  kAblationPairing,        // App. C.2 paired-vs-unpaired ablation
+  kAblationSplitters,      // App. B splitter-strategy ablation
+  kMultiContestants,       // §6 many-contestant competition
+  kMultiDataset,           // §6 comparison across datasets
+  kTable8MhcModels,        // Tables 8/9 MHC model-design comparison
+  kTableDSearchSpaces,     // Tables 2/3/5/6 search-space dump
 };
 
 [[nodiscard]] std::string_view to_string(StudyKind kind);
 /// Throws io::JsonError listing the valid kinds on unknown input.
 [[nodiscard]] StudyKind study_kind_from_string(std::string_view name);
+
+/// The original (non-figure) study kinds, in registry order — backed by
+/// the same table to_string/study_kind_from_string resolve through, so
+/// enumerating consumers (`varbench list`) cannot drift from the parser.
+/// Figure kinds are enumerated by figures::all_figures().
+[[nodiscard]] std::vector<StudyKind> base_study_kinds();
 
 /// A contiguous slice i of N of every repetition index range in the study.
 /// {0, 1} is the unsharded run. Because repetition RNG streams are keyed by
@@ -97,12 +126,43 @@ struct DetectionParams {
                          const DetectionParams&) = default;
 };
 
+/// The shared knob pool of the figure study kinds. Each figure kind uses
+/// (serializes, parses, and kind-defaults) a declared subset of these
+/// fields — see the field table in src/study/figures/figures.cpp — so a
+/// spec stays strict: keys a kind does not declare are unknown keys.
+struct FigureParams {
+  /// Case studies / calibrations the figure spans; empty → the kind's full
+  /// default set (all registered tasks for most kinds).
+  std::vector<std::string> tasks;
+  std::vector<std::string> hpo_algorithms;  // fig01, figF2
+  std::size_t hpo_repetitions = 0;  // fig01; 0 → max(3, repetitions / 4)
+  std::size_t hpo_budget = 12;      // fig01: T per HOpt probe
+  std::size_t budget = 24;          // figF2: trials per HOpt run
+  std::size_t k = 50;     // measures per side / per realization (fig06, H5, …)
+  double gamma = 0.75;    // H1 threshold of the P(A>B) criteria
+  std::size_t resamples = 100;     // bootstrap resamples inside criteria
+  std::vector<std::size_t> k_grid;   // fig04, fig05, figI6 x-axes
+  std::vector<std::size_t> t_grid;   // fig04 HOpt budgets
+  std::vector<double> gamma_grid;    // figC1, figI6
+  std::vector<double> beta_grid;     // figC1 power targets
+  std::vector<double> p_grid;        // fig06, figI6 true-P(A>B) grids
+  std::vector<double> edges;         // ablation_pairing true mean edges
+
+  friend bool operator==(const FigureParams&, const FigureParams&) = default;
+};
+
 /// The experiment description. Common fields first; exactly one params
 /// block is active, selected by `kind` (the others stay at their defaults
 /// and are neither serialized nor parsed).
 struct StudySpec {
   StudyKind kind = StudyKind::kVariance;
-  std::string case_study;  // registry id, e.g. "cifar10_vgg11"
+  /// Registry id, e.g. "cifar10_vgg11". Figure kinds that span several
+  /// tasks default it to "all" (the actual set lives in figure.tasks);
+  /// setting a concrete id narrows a multi-task figure to that one task,
+  /// overriding figure.tasks. Purely synthetic figures use "synthetic".
+  /// Required for the original five kinds, defaulted per kind for figure
+  /// kinds.
+  std::string case_study;
   double scale = 0.25;     // data-pool / epoch scale in (0, 1]
   std::uint64_t seed = 42;
   /// The shardable repetition count; per-kind meaning: variance →
@@ -118,6 +178,7 @@ struct StudySpec {
   HpoParams hpo;
   EstimatorParams estimator;
   DetectionParams detection;
+  FigureParams figure;  // active for the figure kinds
 
   friend bool operator==(const StudySpec&, const StudySpec&) = default;
 

@@ -1,0 +1,170 @@
+// The figure-kind registry contract: every registered study kind
+// serializes → parses → re-serializes to identical JSON (so new figure
+// kinds cannot ship without strict round-trip), every kind has a runner,
+// `varbench list` names them all, and figure specs keep the strict
+// unknown-key rejection of the original kinds.
+#include <gtest/gtest.h>
+
+#include "src/study/figures/figures.h"
+#include "src/study/study_runner.h"
+#include "src/study/study_spec.h"
+
+namespace varbench::study {
+namespace {
+
+void expect_roundtrip(const StudySpec& spec) {
+  const std::string text = spec.to_json_text();
+  const StudySpec parsed = StudySpec::from_json_text(text);
+  EXPECT_EQ(parsed, spec) << text;
+  // Serialization is deterministic: parse→serialize is a fixed point.
+  EXPECT_EQ(parsed.to_json_text(), text);
+}
+
+TEST(FigureRegistry, EveryFigureKindRoundTripsStrictly) {
+  ASSERT_GE(figures::all_figures().size(), 17u);
+  for (const auto& def : figures::all_figures()) {
+    expect_roundtrip(figures::default_figure_spec(def.kind));
+  }
+}
+
+TEST(FigureRegistry, TweakedSpecsRoundTrip) {
+  StudySpec fig06 = figures::default_figure_spec(
+      StudyKind::kFig06DetectionRates);
+  fig06.repetitions = 7;
+  fig06.seed = 0xDEADBEEFCAFEF00DULL;
+  fig06.figure.tasks = {"cifar10_vgg11", "mhc_mlp"};
+  fig06.figure.k = 13;
+  fig06.figure.p_grid = {0.4, 0.75, 0.99};
+  fig06.shard = ShardSpec{1, 4};
+  expect_roundtrip(fig06);
+
+  StudySpec figC1 = figures::default_figure_spec(StudyKind::kFigC1SampleSize);
+  figC1.figure.gamma_grid = {0.7, 0.8};
+  figC1.figure.beta_grid = {0.5};
+  expect_roundtrip(figC1);
+
+  StudySpec pairing = figures::default_figure_spec(
+      StudyKind::kAblationPairing);
+  pairing.figure.edges = {0.0, 0.1};
+  pairing.figure.resamples = 33;
+  expect_roundtrip(pairing);
+}
+
+TEST(FigureRegistry, EveryRegisteredKindHasARunnerAndAUniqueName) {
+  const auto kinds = registered_study_kinds();
+  ASSERT_GE(kinds.size(), 22u);  // the original five + the figure registry
+  for (const auto& info : kinds) {
+    EXPECT_TRUE(has_study_runner(info.kind)) << info.name;
+    // Name round-trip: the spec string resolves back to the same kind.
+    EXPECT_EQ(study_kind_from_string(info.name), info.kind);
+    EXPECT_EQ(to_string(info.kind), info.name);
+  }
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    for (std::size_t j = i + 1; j < kinds.size(); ++j) {
+      EXPECT_NE(kinds[i].name, kinds[j].name);
+    }
+  }
+}
+
+TEST(FigureRegistry, ListTextNamesEveryKindAndItsParams) {
+  const std::string text = list_study_kinds_text();
+  for (const auto& info : registered_study_kinds()) {
+    EXPECT_NE(text.find(info.name), std::string::npos) << info.name;
+    for (const auto& key : info.param_keys) {
+      EXPECT_NE(text.find(key), std::string::npos)
+          << info.name << " params key " << key;
+    }
+  }
+  EXPECT_NE(text.find("not shardable"), std::string::npos);  // hpo
+}
+
+TEST(FigureSpec, CaseStudyAndRepetitionsDefaultPerKind) {
+  const auto spec =
+      StudySpec::from_json_text(R"({"kind": "figC1_sample_size"})");
+  EXPECT_EQ(spec.case_study, "all");
+  EXPECT_EQ(spec.repetitions, 1u);
+  const auto i6 = StudySpec::from_json_text(R"({"kind": "figI6_robustness"})");
+  EXPECT_EQ(i6.case_study, "cifar10_vgg11");
+  // The original kinds still require case_study explicitly.
+  EXPECT_THROW((void)StudySpec::from_json_text(R"({"kind": "variance"})"),
+               io::JsonError);
+}
+
+TEST(FigureSpec, UnknownParamsKeysAreRejectedPerKind) {
+  // 'budget' belongs to figF2, not fig01 — strictness is per kind even
+  // though both draw from the shared FigureParams pool.
+  try {
+    (void)StudySpec::from_json_text(
+        R"({"kind": "fig01_variance_sources", "params": {"budget": 9}})");
+    FAIL() << "accepted an undeclared figure params key";
+  } catch (const io::JsonError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("budget"), std::string::npos) << what;
+    EXPECT_NE(what.find("hpo_algorithms"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)StudySpec::from_json_text(
+                   R"({"kind": "figC1_sample_size", "params": {"tasks": []}})"),
+               io::JsonError);
+}
+
+TEST(FigureSpec, UnknownKindErrorListsFigureKinds) {
+  try {
+    (void)StudySpec::from_json_text(R"({"kind": "fig99", "case_study": "x"})");
+    FAIL() << "accepted unknown kind";
+  } catch (const io::JsonError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fig06_detection_rates"), std::string::npos) << what;
+    EXPECT_NE(what.find("variance"), std::string::npos) << what;
+  }
+}
+
+TEST(FigureSpec, ValidateStudySpecCatchesWorkerTimeFailures) {
+  // The checks `varbench campaign --plan-only` runs so a plan-clean
+  // campaign cannot fail them at worker time.
+  StudySpec typo;
+  typo.kind = StudyKind::kVariance;
+  typo.case_study = "cifar10_vgg19";  // misspelled registry id
+  EXPECT_THROW(validate_study_spec(typo), std::invalid_argument);
+
+  StudySpec analytic = figures::default_figure_spec(StudyKind::kFig03Sota);
+  analytic.repetitions = 5;
+  EXPECT_THROW(validate_study_spec(analytic), std::invalid_argument);
+
+  EXPECT_NO_THROW(validate_study_spec(
+      figures::default_figure_spec(StudyKind::kFig06DetectionRates)));
+}
+
+TEST(FigureSpec, AnalyticKindsRejectRepetitionOverrides) {
+  StudySpec spec = figures::default_figure_spec(StudyKind::kFig03Sota);
+  spec.repetitions = 2;
+  EXPECT_THROW((void)run_study(spec), std::invalid_argument);
+  spec.repetitions = 1;
+  const ResultTable t = run_study(spec);  // the grid itself still runs
+  EXPECT_GT(t.rows.size(), 0u);
+}
+
+TEST(FigureSpec, CaseStudyNarrowsKindsWithDefaultTaskSubsets) {
+  // fig02 pre-populates a three-task default in figure.tasks; an explicit
+  // case_study must still narrow the figure to that one task.
+  StudySpec spec = figures::default_figure_spec(StudyKind::kFig02Binomial);
+  ASSERT_EQ(spec.figure.tasks.size(), 3u);
+  spec.case_study = "cifar10_vgg11";
+  spec.scale = 0.08;
+  spec.repetitions = 2;
+  const ResultTable t = run_study(spec);
+  const std::size_t task_col = t.column_index("task");
+  ASSERT_EQ(t.rows.size(), 2u);
+  for (const Row& row : t.rows) {
+    EXPECT_EQ(row[task_col].as_string(), "cifar10_vgg11");
+  }
+}
+
+TEST(FigureSpec, DefaultSpecRejectsNonFigureKinds) {
+  EXPECT_THROW((void)figures::default_figure_spec(StudyKind::kVariance),
+               std::invalid_argument);
+  EXPECT_FALSE(figures::is_figure_kind(StudyKind::kHpo));
+  EXPECT_TRUE(figures::is_figure_kind(StudyKind::kTableDSearchSpaces));
+}
+
+}  // namespace
+}  // namespace varbench::study

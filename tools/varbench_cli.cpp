@@ -92,7 +92,8 @@ struct Args {
 
 /// Flags that never consume the following token as a value.
 const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> flags{"canonical", "help", "resume"};
+  static const std::set<std::string> flags{"canonical", "help", "plan-only",
+                                           "resume"};
   return flags;
 }
 
@@ -314,17 +315,20 @@ int cmd_merge(const Args& a) {
 
 int cmd_campaign(const Args& a) {
   require_known_flags(a, {"shards", "workers", "dir", "resume", "max-retries",
-                          "stale-ms", "task-timeout-ms", "set", "threads"});
+                          "stale-ms", "task-timeout-ms", "set", "threads",
+                          "plan-only"});
   const std::string dir = opt_string(a, "dir", "");
-  if (a.positional.empty() || dir.empty()) {
+  const bool plan_only = opt_flag(a, "plan-only");
+  if (a.positional.empty() || (dir.empty() && !plan_only)) {
     std::fprintf(stderr,
                  "usage: varbench campaign <spec.json> ... --dir <state-dir> "
                  "[--shards N] [--workers K] [--resume] [--max-retries R] "
                  "[--stale-ms T] [--task-timeout-ms T] [--set key=val ...] "
-                 "[--threads N]\n"
+                 "[--threads N] [--plan-only]\n"
                  "each <spec.json> is one StudySpec or a JSON array of "
                  "specs; --resume finishes the gaps of an existing state "
-                 "dir\n");
+                 "dir; --plan-only validates every spec and prints the task "
+                 "plan without running\n");
     return 2;
   }
   std::vector<io::Json> raw;
@@ -347,6 +351,28 @@ int cmd_campaign(const Args& a) {
       study::apply_override(spec_doc, "threads", *threads);
     }
     studies.push_back(study::StudySpec::from_json(spec_doc));
+  }
+
+  if (plan_only) {
+    // Validate + plan without touching any state: the dry-run used by CI
+    // and by users checking a campaign file before committing machines.
+    // Run the same pre-run checks the workers would hit (unknown case
+    // study, repetitions on an analytic figure kind, missing runner) so a
+    // plan-clean campaign cannot fail them at worker time.
+    for (const auto& spec : studies) {
+      study::validate_study_spec(spec);
+    }
+    const auto tasks =
+        campaign::plan_tasks(studies, opt_size(a, "shards", 1));
+    for (const auto& task : tasks) {
+      std::printf("%-14s %s:%s shard %s\n", task.id.c_str(),
+                  std::string{study::to_string(task.spec.kind)}.c_str(),
+                  task.spec.case_study.c_str(),
+                  task.spec.shard.label().c_str());
+    }
+    std::printf("plan: %zu task(s) over %zu study(ies)\n", tasks.size(),
+                studies.size());
+    return 0;
   }
 
   campaign::CampaignConfig cfg;
@@ -443,6 +469,15 @@ int cmd_report(const Args& a) {
 }
 
 // ----------------------------------------------------- legacy subcommands
+
+int cmd_list(const Args& a) {
+  require_known_flags(a, {});
+  std::fputs(study::list_study_kinds_text().c_str(), stdout);
+  std::printf(
+      "\nrun one with: varbench run spec.json (spec: {\"kind\": \"<name>\"} "
+      "+ optional common fields and params overrides)\n");
+  return 0;
+}
 
 int cmd_tasks(const Args& a) {
   require_known_flags(a, {});
@@ -571,7 +606,9 @@ void usage() {
       "  merge   <shard.json | shard-dir> ... [--out merged.json]\n"
       "          [--csv merged.csv]\n"
       "  campaign <spec.json> --dir <state-dir> [--shards N] [--workers K]\n"
-      "          [--resume] [--max-retries R] (docs/campaigns.md)\n"
+      "          [--resume] [--max-retries R] [--plan-only]\n"
+      "          (docs/campaigns.md)\n"
+      "  list    registered study kinds (incl. every paper figure/table)\n"
       "  report  <artifact.json | dir> [--spec r.json] [--set key=val ...]\n"
       "          [--format text|markdown|csv|json] [--compare other.json]\n"
       "          [--threads N] [--out file] (docs/reporting.md)\n"
@@ -603,6 +640,7 @@ int main(int argc, char** argv) {
     if (cmd == "merge") return cmd_merge(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "report") return cmd_report(args);
+    if (cmd == "list") return cmd_list(args);
     if (cmd == "tasks") return cmd_tasks(args);
     if (cmd == "plan") return cmd_plan(args);
     if (cmd == "study") return cmd_study(args);
