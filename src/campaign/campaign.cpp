@@ -8,6 +8,7 @@
 
 #include "src/campaign/subprocess.h"
 #include "src/campaign/work_queue.h"
+#include "src/io/columnar/vbt.h"
 #include "src/io/json.h"
 #include "src/study/result_table.h"
 #include "src/study/study_runner.h"
@@ -129,7 +130,7 @@ std::string validate_artifact(const std::string& path,
                               double* wall_ms = nullptr) {
   study::ResultTable table;
   try {
-    table = study::ResultTable::from_json_text(io::read_file(path));
+    table = study::ResultTable::load(path);  // JSON or binary, by content
   } catch (const std::exception& e) {
     return std::string{"unreadable artifact: "} + e.what();
   }
@@ -150,13 +151,14 @@ std::string validate_artifact(const std::string& path,
   return {};
 }
 
-/// merged/s<k>-<kind>-<case>.json — predictable without loading artifacts.
+/// merged/s<k>-<kind>-<case>.<ext> — predictable without loading artifacts.
 std::string merged_output_path(const WorkQueue& queue, std::size_t study_index,
-                               const study::StudySpec& spec) {
+                               const study::StudySpec& spec,
+                               std::string_view ext) {
   return (fs::path{queue.merged_dir()} /
           ("s" + std::to_string(study_index) + "-" +
            std::string{study::to_string(spec.kind)} + "-" + spec.case_study +
-           ".json"))
+           std::string{ext}))
       .string();
 }
 
@@ -212,7 +214,9 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
   if (cfg.dir.empty()) {
     throw std::invalid_argument("campaign: state directory must be given");
   }
-  WorkQueue queue{cfg.dir};
+  const bool binary = cfg.format == study::ArtifactFormat::kBinary;
+  const std::string ext = binary ? ".vbt" : ".json";
+  WorkQueue queue{cfg.dir, ext};
   auto tasks = plan_tasks(studies, cfg.shards);
 
   CampaignReport report;
@@ -258,9 +262,12 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
     if (!fs::exists(queue.spec_path(id))) {
       WorkQueue::atomic_write(queue.spec_path(id), st.task.spec.to_json_text());
     }
-    if (fs::exists(queue.artifact_path(id))) {
-      const std::string err = validate_artifact(queue.artifact_path(id),
-                                                st.task, &st.wall_ms);
+    // Probe both formats: a --format change between runs must not redo
+    // (or worse, mistrust) shards that already landed the other way.
+    const std::string existing = queue.existing_artifact_path(id);
+    if (fs::exists(existing)) {
+      const std::string err = validate_artifact(existing, st.task,
+                                                &st.wall_ms);
       if (err.empty()) {
         fall_back_to_prior_wall(st);
         st.status = TaskState::Status::kDone;
@@ -268,7 +275,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
         event(cfg, "task %s: reusing existing artifact", id.c_str());
       } else {
         std::error_code ec;
-        fs::remove(queue.artifact_path(id), ec);
+        fs::remove(existing, ec);
         event(cfg, "task %s: discarding invalid artifact (%s)", id.c_str(),
               err.c_str());
       }
@@ -292,7 +299,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
       if (st.status != TaskState::Status::kDone) return;  // incomplete
       fresh = fresh || st.completed_this_run;
     }
-    const std::string out = merged_output_path(queue, k, studies[k]);
+    const std::string out = merged_output_path(queue, k, studies[k], ext);
     if (!fresh && fs::exists(out)) {
       study_merged[k] = true;
       report.merged_outputs.push_back(out);
@@ -304,11 +311,24 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
       for (const auto& st : states) {
         if (st.task.study_index != k) continue;
         ++count;
+        // Shards may be a mix of formats after a --format change; load
+        // dispatches per file.
         shards.push_back(
-            study::ResultTable::load(queue.artifact_path(st.task.id)));
+            study::ResultTable::load(queue.existing_artifact_path(st.task.id)));
       }
       const auto merged = study::merge_result_tables(std::move(shards));
-      WorkQueue::atomic_write(out, merged.canonical_text());
+      // Identity-only bytes either way, so merged outputs stay
+      // byte-comparable across runs, worker counts, and formats.
+      WorkQueue::atomic_write(
+          out, binary ? io::columnar::encode_vbt(merged,
+                                                 /*include_provenance=*/false)
+                      : merged.canonical_text());
+      // After a --format change, drop the superseded other-format merged
+      // file — a directory report must see each study exactly once.
+      std::error_code sibling_ec;
+      fs::remove(merged_output_path(queue, k, studies[k],
+                                    binary ? ".json" : ".vbt"),
+                 sibling_ec);
       event(cfg, "study %zu: merged %zu shard(s) -> %s", k, count,
             out.c_str());
       report.merged_outputs.push_back(out);
@@ -444,12 +464,11 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
       const std::string& id = st.task.id;
       bool ours = false;
       for (const auto& a : active) ours |= states[a.state_index].task.id == id;
-      if (ours || queue.is_claimed(id) ||
-          !fs::exists(queue.artifact_path(id))) {
+      const std::string adopted = queue.existing_artifact_path(id);
+      if (ours || queue.is_claimed(id) || !fs::exists(adopted)) {
         continue;
       }
-      if (validate_artifact(queue.artifact_path(id), st.task, &st.wall_ms)
-              .empty()) {
+      if (validate_artifact(adopted, st.task, &st.wall_ms).empty()) {
         fall_back_to_prior_wall(st);
         st.status = TaskState::Status::kDone;
         progressed = true;
@@ -568,7 +587,13 @@ WorkerLauncher in_process_launcher() {
       const auto spec =
           study::StudySpec::from_json_text(io::read_file(spec_path));
       const auto table = study::run_study(spec);
-      WorkQueue::atomic_write(artifact_path, table.to_json_text());
+      // The destination's extension says which format the campaign runs
+      // in (".vbt.part" → binary), same as the subprocess worker's --out.
+      const bool binary = study::infer_artifact_format(artifact_path) ==
+                          study::ArtifactFormat::kBinary;
+      WorkQueue::atomic_write(artifact_path,
+                              binary ? io::columnar::encode_vbt(table)
+                                     : table.to_json_text());
       return std::make_unique<CompletedHandle>(0);
     } catch (const std::exception& e) {
       try {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/study/result_table.h"
 #include "src/study/study_spec.h"
 
 namespace varbench::campaign {
@@ -64,6 +65,11 @@ struct CampaignConfig {
   std::chrono::milliseconds poll_interval{25};
   bool resume = false;       // required to reuse an initialized state dir
   std::FILE* events = nullptr;  // progress lines (CLI: stderr); null = quiet
+  /// Format new shard artifacts and merged outputs are written in (kAuto
+  /// behaves as kJson). Resuming in a different format than the state dir
+  /// was run with is fine: valid shards of either format are reused, and
+  /// merge reads mixed .json/.vbt sets.
+  study::ArtifactFormat format = study::ArtifactFormat::kJson;
 };
 
 struct CampaignReport {

@@ -59,7 +59,12 @@ std::vector<std::string> list_tasks(const fs::path& dir,
 
 }  // namespace
 
-WorkQueue::WorkQueue(std::string dir) : dir_{std::move(dir)} {
+WorkQueue::WorkQueue(std::string dir, std::string artifact_ext)
+    : dir_{std::move(dir)}, artifact_ext_{std::move(artifact_ext)} {
+  if (artifact_ext_ != ".json" && artifact_ext_ != ".vbt") {
+    throw io::JsonError("campaign: unsupported artifact extension '" +
+                        artifact_ext_ + "' (use .json or .vbt)");
+  }
   std::error_code ec;
   for (const char* sub : {"", "queue", "claims", "specs", "artifacts", "logs",
                           "merged"}) {
@@ -77,11 +82,21 @@ std::string WorkQueue::spec_path(const std::string& task_id) const {
 }
 
 std::string WorkQueue::artifact_path(const std::string& task_id) const {
-  return (fs::path{dir_} / "artifacts" / (task_id + ".json")).string();
+  return (fs::path{dir_} / "artifacts" / (task_id + artifact_ext_)).string();
+}
+
+std::string WorkQueue::existing_artifact_path(
+    const std::string& task_id) const {
+  const std::string preferred = artifact_path(task_id);
+  if (fs::exists(preferred)) return preferred;
+  const std::string other_ext = artifact_ext_ == ".json" ? ".vbt" : ".json";
+  const std::string other =
+      (fs::path{dir_} / "artifacts" / (task_id + other_ext)).string();
+  return fs::exists(other) ? other : preferred;
 }
 
 std::string WorkQueue::partial_artifact_path(const std::string& task_id) const {
-  return (fs::path{dir_} / "artifacts" / (task_id + ".json.part")).string();
+  return artifact_path(task_id) + ".part";
 }
 
 std::string WorkQueue::log_path(const std::string& task_id) const {

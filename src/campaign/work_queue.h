@@ -35,13 +35,23 @@ struct Ticket {
 class WorkQueue {
  public:
   /// Opens (creating if needed) the state directory and its subdirectories.
-  /// Throws io::JsonError when the directory cannot be created.
-  explicit WorkQueue(std::string dir);
+  /// `artifact_ext` is the extension new shard artifacts are written with
+  /// (".json" or ".vbt" — the campaign's --format). Throws io::JsonError
+  /// when the directory cannot be created.
+  explicit WorkQueue(std::string dir, std::string artifact_ext = ".json");
 
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
   [[nodiscard]] std::string spec_path(const std::string& task_id) const;
+  /// Where this campaign writes the task's artifact (preferred extension).
   [[nodiscard]] std::string artifact_path(const std::string& task_id) const;
+  /// The task's artifact as it exists on disk, whichever format it was
+  /// produced in: probes the preferred extension first, then the other —
+  /// a JSON campaign resumed with --format binary (or vice versa) reuses
+  /// every valid shard it already has. Returns artifact_path() when
+  /// neither file exists.
+  [[nodiscard]] std::string existing_artifact_path(
+      const std::string& task_id) const;
   /// Where a worker writes before validation promotes it to artifact_path.
   [[nodiscard]] std::string partial_artifact_path(
       const std::string& task_id) const;
@@ -83,6 +93,7 @@ class WorkQueue {
 
  private:
   std::string dir_;
+  std::string artifact_ext_;
 };
 
 }  // namespace varbench::campaign

@@ -1,0 +1,125 @@
+// On-disk layout of the VBT1 binary columnar ResultTable artifact
+// (docs/artifacts.md). Design constraints, in order:
+//
+//   1. Lossless interchange with the JSON v1/v2 artifact: every cell kind
+//      the io::Json layer distinguishes (double, unsigned, signed, string,
+//      bool, null) survives a JSON -> VBT -> JSON round trip with
+//      `canonical_text()` byte-identical, because doubles are stored as
+//      their exact IEEE-754 bits (strictly more information than the
+//      shortest-round-trip decimal they serialize to) and integer kinds
+//      are recoverable from the sign.
+//   2. Zero-copy load. Every block offset is 64-byte aligned, so an
+//      mmap'd file (page-aligned base) surfaces f64 columns directly as
+//      std::span<const double> — no lexing, no per-cell materialization.
+//   3. Deterministic bytes. The writer has exactly one rendering per
+//      table (first-appearance dictionary order, zero padding, canonical
+//      metadata JSON), so the shard/merge byte-identity contract of the
+//      JSON artifact carries over to the binary one.
+//
+// File layout (all integers little-endian; every offset from file start):
+//
+//   [0,  8)   magic "VBT1\r\n\x1a\n" (PNG-style: the \r\n and \x1a catch
+//             text-mode and DOS-type mangling before the header is read)
+//   [8, 80)   fixed header (Header below, 72 bytes)
+//   coldir    column_count directory entries (ColumnEntry, 40 bytes each)
+//   meta      canonical JSON metadata block: the artifact's to_json()
+//             document minus "rows" (schema/name/spec/meta/columns[
+//             /provenance]) — spec, seed, shard, and provenance ride the
+//             existing JSON serialization unchanged
+//   dict      string dictionary (when any column stores strings):
+//             u64 count, count x u32 byte lengths, concatenated bytes
+//   columns   one data block per column, in column order; kMixed columns
+//             put their tag block (aux) before their payload block
+//
+// Endianness policy: the format is defined little-endian and this build
+// refuses to compile on big-endian hosts (static_assert below) rather
+// than byte-swapping on read — every deployment target is little-endian
+// and a silent swap path would be permanently untested.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace varbench::io::columnar {
+
+static_assert(std::endian::native == std::endian::little,
+              "VBT1 artifacts are little-endian on disk; reading them on a "
+              "big-endian host would need a byte-swapping reader that does "
+              "not exist yet");
+
+inline constexpr unsigned char kMagic[8] = {'V', 'B',  'T',    '1',
+                                            '\r', '\n', 0x1a, '\n'};
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Every block (directory, metadata, dictionary, column data, column tags)
+/// starts on a 64-byte boundary so mmap'd column payloads are aligned for
+/// any scalar or vector access width.
+inline constexpr std::uint64_t kBlockAlign = 64;
+
+/// How each column's cells are encoded. The writer elects the narrowest
+/// homogeneous encoding; kMixed is the lossless fallback for columns
+/// holding nulls, bools, or more than one number kind.
+enum class ColumnType : std::uint32_t {
+  /// n x f64 — every cell a JSON double (exact IEEE-754 bits).
+  kF64 = 0,
+  /// n x i64 — every cell an integer representable in int64; the JSON
+  /// number kind is recovered from the sign (negative -> signed, else
+  /// unsigned), matching the parser's convention.
+  kI64 = 1,
+  /// n x u64 — every cell a non-negative integer, at least one above
+  /// INT64_MAX (full-range seeds).
+  kU64 = 2,
+  /// n x u32 indices into the file dictionary — every cell a string.
+  kStringDict = 3,
+  /// n x u8 tags (aux block) + n x u64 payloads (data block); see CellTag.
+  kMixed = 4,
+};
+
+/// Per-cell tag of a kMixed column. Payload meaning per tag: kNull/kFalse/
+/// kTrue -> 0, kF64 -> IEEE-754 bits, kU64/kI64 -> integer bits,
+/// kString -> dictionary index.
+enum class CellTag : std::uint8_t {
+  kNull = 0,
+  kFalse = 1,
+  kTrue = 2,
+  kF64 = 3,
+  kU64 = 4,
+  kI64 = 5,
+  kString = 6,
+};
+
+/// Fixed header at byte offset 8. Plain-old-data with every field aligned
+/// to its natural boundary, so it reads straight off the mapping.
+struct Header {
+  std::uint32_t version = kVersion;
+  std::uint32_t header_bytes = 0;  // sizeof(Header); forward sanity check
+  std::uint64_t row_count = 0;
+  std::uint32_t column_count = 0;
+  std::uint32_t flags = 0;  // reserved, must be 0 in v1
+  std::uint64_t meta_offset = 0;
+  std::uint64_t meta_bytes = 0;
+  std::uint64_t dict_offset = 0;  // 0 when the file has no dictionary
+  std::uint64_t dict_bytes = 0;
+  std::uint64_t coldir_offset = 0;
+  std::uint64_t file_bytes = 0;  // total size — cheap truncation check
+};
+static_assert(sizeof(Header) == 72, "VBT1 header is 72 bytes on disk");
+
+/// One column directory entry at coldir_offset + 40 * column_index.
+struct ColumnEntry {
+  std::uint32_t type = 0;      // ColumnType
+  std::uint32_t reserved = 0;  // must be 0 in v1
+  std::uint64_t data_offset = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t aux_offset = 0;  // kMixed tag block; 0 otherwise
+  std::uint64_t aux_bytes = 0;
+};
+static_assert(sizeof(ColumnEntry) == 40, "VBT1 column entry is 40 bytes");
+
+inline constexpr std::uint64_t kHeaderEnd = 8 + sizeof(Header);
+
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t offset) {
+  return (offset + kBlockAlign - 1) & ~(kBlockAlign - 1);
+}
+
+}  // namespace varbench::io::columnar

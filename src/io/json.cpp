@@ -41,6 +41,11 @@ bool Json::as_bool() const {
   return bool_;
 }
 
+Json::NumKind Json::number_kind() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return num_kind_;
+}
+
 double Json::as_double() const {
   if (type_ != Type::kNumber) type_error("number", type_);
   switch (num_kind_) {

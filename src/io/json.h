@@ -31,6 +31,11 @@ class JsonError : public std::runtime_error {
 class Json {
  public:
   enum class Type : int { kNull, kBool, kNumber, kString, kArray, kObject };
+  /// Which representation a kNumber value carries. Invariant: kInt only
+  /// ever holds negative values (the int64 constructor and the parser both
+  /// route non-negative integers to kUint), so the kind is recoverable
+  /// from the sign — the property the binary columnar encoder relies on.
+  enum class NumKind : int { kDouble, kUint, kInt };
 
   using Array = std::vector<Json>;
   /// Insertion-ordered; keys unique (enforced by set() and the parser).
@@ -72,6 +77,9 @@ class Json {
   [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
   [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
 
+  /// The number representation; throws JsonError unless is_number().
+  [[nodiscard]] NumKind number_kind() const;
+
   /// Checked accessors — throw JsonError naming the actual type.
   [[nodiscard]] bool as_bool() const;
   [[nodiscard]] double as_double() const;      // any number kind, widened
@@ -105,8 +113,6 @@ class Json {
   [[nodiscard]] static Json parse(std::string_view text);
 
  private:
-  enum class NumKind : int { kDouble, kUint, kInt };
-
   void dump_to(std::string& out, int indent, int depth) const;
 
   Type type_ = Type::kNull;

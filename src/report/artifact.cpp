@@ -24,11 +24,17 @@ void reject_unknown_manifest_fields(
   io::reject_unknown_fields(obj, "report", kCampaignSchemaV2, path, known);
 }
 
-std::vector<std::string> json_files_in(const fs::path& dir) {
+/// Artifact files in `dir`: JSON and binary columnar, freely mixed —
+/// ResultTable::load dispatches on content. campaign.json is a manifest,
+/// not an artifact.
+std::vector<std::string> artifact_files_in(const fs::path& dir) {
   std::vector<std::string> files;
   for (const auto& entry : fs::directory_iterator{dir}) {
     const fs::path& p = entry.path();
-    if (!entry.is_regular_file() || p.extension() != ".json") continue;
+    if (!entry.is_regular_file() ||
+        (p.extension() != ".json" && p.extension() != ".vbt")) {
+      continue;
+    }
     if (p.filename() == "campaign.json") continue;
     files.push_back(p.string());
   }
@@ -135,15 +141,15 @@ DirArtifacts load_artifact_dir(const std::string& dir) {
   // own *.json files.
   fs::path scan{dir};
   if (fs::is_directory(fs::path{dir} / "merged") &&
-      !json_files_in(fs::path{dir} / "merged").empty()) {
+      !artifact_files_in(fs::path{dir} / "merged").empty()) {
     scan = fs::path{dir} / "merged";
   } else if (fs::is_directory(fs::path{dir} / "artifacts")) {
     scan = fs::path{dir} / "artifacts";
   }
-  const auto files = json_files_in(scan);
+  const auto files = artifact_files_in(scan);
   if (files.empty()) {
-    throw io::JsonError("report: no artifacts (*.json) in '" + scan.string() +
-                        "'");
+    throw io::JsonError("report: no artifacts (*.json, *.vbt) in '" +
+                        scan.string() + "'");
   }
 
   // Group the files by study identity (first-appearance order over the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/io/columnar/vbt.h"
 #include "src/rngx/rng.h"
 #include "src/stats/descriptive.h"
 #include "src/stats/prob_outperform.h"
@@ -34,6 +35,22 @@ bool has_estimator(const ReportSpec& spec, std::string_view name) {
 /// A column is numeric when every cell is a number or null and at least one
 /// is a number (bench tables use null for not-applicable cells).
 bool column_is_numeric(const study::ResultTable& table, std::size_t ci) {
+  // Columnar-backed tables answer from the column type directory; only
+  // kMixed columns (nulls/bools/mixed kinds) need the per-cell scan.
+  if (table.backing != nullptr &&
+      table.backing->num_rows() == table.rows.size()) {
+    using io::columnar::ColumnType;
+    switch (table.backing->column_type(ci)) {
+      case ColumnType::kF64:
+      case ColumnType::kI64:
+      case ColumnType::kU64:
+        return !table.rows.empty();
+      case ColumnType::kStringDict:
+        return false;
+      case ColumnType::kMixed:
+        break;
+    }
+  }
   bool any_number = false;
   for (const study::Row& row : table.rows) {
     if (row[ci].is_number()) {
@@ -52,6 +69,13 @@ std::vector<double> numeric_values(const study::ResultTable& table,
                                    const std::vector<std::size_t>& rows,
                                    std::size_t* missing) {
   std::vector<double> out;
+  // Contiguous f64 columns of a columnar-backed table gather straight off
+  // the mapping — no io::Json cells, and no nulls by construction.
+  if (const auto span = table.column_span(table.columns[ci])) {
+    out.reserve(rows.size());
+    for (const std::size_t ri : rows) out.push_back((*span)[ri]);
+    return out;
+  }
   out.reserve(rows.size());
   for (const std::size_t ri : rows) {
     const study::Cell& cell = table.rows[ri][ci];
@@ -143,10 +167,11 @@ ColumnSummary summarize_values(const exec::ExecContext& ctx,
   s.n = values.size();
   s.missing = missing;
   if (values.empty()) return s;
-  s.mean = stats::mean(values);
-  s.stddev = stats::stddev(values);
-  s.min = stats::min_value(values);
-  s.max = stats::max_value(values);
+  const stats::Moments m = stats::moments(values);
+  s.mean = m.mean;
+  s.stddev = m.stddev;
+  s.min = m.min;
+  s.max = m.max;
   s.median = stats::median(values);
   if (has_estimator(spec, "ci") && values.size() >= 3) {
     rngx::Rng rng = stream_for(master, "ci", s.group, s.column);

@@ -38,6 +38,30 @@ double max_value(std::span<const double> x) {
   return *std::max_element(x.begin(), x.end());
 }
 
+Moments moments(std::span<const double> x) {
+  if (x.empty()) throw std::invalid_argument("moments: empty input");
+  double sum = 0.0;
+  double mn = x[0];
+  double mx = x[0];
+  for (const double v : x) {
+    sum += v;
+    if (v < mn) mn = v;
+    if (mx < v) mx = v;
+  }
+  Moments m;
+  m.count = x.size();
+  m.mean = sum / static_cast<double>(x.size());
+  if (x.size() >= 2) {
+    double s = 0.0;
+    for (const double v : x) s += (v - m.mean) * (v - m.mean);
+    m.variance = s / static_cast<double>(x.size() - 1);
+  }
+  m.stddev = std::sqrt(m.variance);
+  m.min = mn;
+  m.max = mx;
+  return m;
+}
+
 double quantile(std::span<const double> x, double q) {
   if (x.empty()) throw std::invalid_argument("quantile: empty input");
   if (!(q >= 0.0 && q <= 1.0)) {

@@ -19,6 +19,24 @@ namespace varbench::stats {
 [[nodiscard]] double min_value(std::span<const double> x);
 [[nodiscard]] double max_value(std::span<const double> x);
 
+/// The descriptive block report tables need, computed in two contiguous
+/// passes over the span instead of five independent traversals (the
+/// summary hot path on large mmap'd columns). Bit-identical to calling
+/// mean/variance/stddev/min_value/max_value separately: the same
+/// left-to-right accumulation, the same Σ(v−m)² second pass, the same
+/// n < 2 → 0 variance and first-occurrence min/max semantics.
+struct Moments {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Throws std::invalid_argument on empty input, like the scalar functions.
+[[nodiscard]] Moments moments(std::span<const double> x);
+
 /// Linear-interpolation quantile (type 7, the numpy default). q in [0, 1].
 [[nodiscard]] double quantile(std::span<const double> x, double q);
 

@@ -1,7 +1,9 @@
 #include "src/study/result_table.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "src/io/columnar/vbt.h"
 #include "src/io/spec_reader.h"
 
 namespace varbench::study {
@@ -33,7 +35,24 @@ void require_scalar(const Cell& cell) {
   }
 }
 
+/// Content sniff for load(): does the file open with the VBT1 magic?
+/// Unreadable files answer false so the JSON path reports the I/O error.
+bool file_has_vbt_magic(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  unsigned char buf[8];
+  const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+  std::fclose(f);
+  return io::columnar::has_vbt_magic({buf, n});
+}
+
 }  // namespace
+
+ArtifactFormat infer_artifact_format(std::string_view path) {
+  if (path.ends_with(".part")) path.remove_suffix(5);
+  return path.ends_with(".vbt") ? ArtifactFormat::kBinary
+                                : ArtifactFormat::kJson;
+}
 
 void ResultTable::add_row(Row row) {
   if (row.size() != columns.size()) {
@@ -63,6 +82,9 @@ bool ResultTable::has_column(std::string_view column) const {
 }
 
 std::vector<double> ResultTable::column_values(std::string_view column) const {
+  if (const auto span = column_span(column)) {
+    return {span->begin(), span->end()};
+  }
   const std::size_t ci = column_index(column);
   std::vector<double> out;
   out.reserve(rows.size());
@@ -70,7 +92,40 @@ std::vector<double> ResultTable::column_values(std::string_view column) const {
   return out;
 }
 
+std::optional<std::span<const double>> ResultTable::column_span(
+    std::string_view column) const {
+  if (backing == nullptr || backing->num_rows() != rows.size()) {
+    return std::nullopt;
+  }
+  const std::size_t ci = column_index(column);
+  if (backing->column_type(ci) != io::columnar::ColumnType::kF64) {
+    return std::nullopt;
+  }
+  return backing->f64_column(ci);
+}
+
 io::Json ResultTable::to_json(bool include_provenance) const {
+  // Composed from meta_json so the JSON and binary artifacts share one
+  // metadata rendering; "rows" is re-inserted before "provenance" to keep
+  // the historical key order (canonical_text bytes must not move).
+  io::Json doc = meta_json(/*include_provenance=*/false);
+  io::Json data = io::Json::array();
+  for (const Row& row : rows) {
+    io::Json r = io::Json::array();
+    for (const Cell& cell : row) r.push_back(cell);
+    data.push_back(std::move(r));
+  }
+  doc.set("rows", std::move(data));
+  if (include_provenance) {
+    io::Json prov = io::Json::object();
+    prov.set("threads", io::Json{threads});
+    prov.set("wall_time_ms", io::Json{wall_time_ms});
+    doc.set("provenance", std::move(prov));
+  }
+  return doc;
+}
+
+io::Json ResultTable::meta_json(bool include_provenance) const {
   io::Json doc = io::Json::object();
   doc.set("schema", io::Json{kTableSchema});
   doc.set("name", io::Json{name});
@@ -85,13 +140,6 @@ io::Json ResultTable::to_json(bool include_provenance) const {
   io::Json cols = io::Json::array();
   for (const auto& c : columns) cols.push_back(io::Json{c});
   doc.set("columns", std::move(cols));
-  io::Json data = io::Json::array();
-  for (const Row& row : rows) {
-    io::Json r = io::Json::array();
-    for (const Cell& cell : row) r.push_back(cell);
-    data.push_back(std::move(r));
-  }
-  doc.set("rows", std::move(data));
   if (include_provenance) {
     io::Json prov = io::Json::object();
     prov.set("threads", io::Json{threads});
@@ -195,7 +243,21 @@ ResultTable ResultTable::from_json_text(std::string_view text) {
   return from_json(io::Json::parse(text));
 }
 
+void ResultTable::save(const std::string& path, ArtifactFormat format,
+                       bool include_provenance) const {
+  if (format == ArtifactFormat::kAuto) format = infer_artifact_format(path);
+  if (format == ArtifactFormat::kBinary) {
+    io::columnar::write_vbt(path, *this, include_provenance);
+  } else {
+    io::write_file(path, to_json_text(include_provenance));
+  }
+}
+
 ResultTable ResultTable::load(const std::string& path) {
+  if (file_has_vbt_magic(path)) {
+    // The columnar layer's own errors already name the path and offset.
+    return io::columnar::materialize(io::columnar::MappedTable::open(path));
+  }
   const std::string text = io::read_file(path);  // names the path itself
   try {
     return from_json_text(text);
@@ -250,17 +312,47 @@ ResultTable merge_result_tables(std::vector<ResultTable> shards) {
   merged.shard = ShardSpec{};  // unsharded normal form
   merged.threads = 0;          // mixed; provenance only
   merged.columns = first.columns;
+  const std::size_t seq_col = merged.column_index("seq");
+  std::size_t total = 0;
+  bool all_sorted = true;
   for (ResultTable& t : shards) {
     merged.wall_time_ms += t.wall_time_ms;
-    for (Row& row : t.rows) merged.rows.push_back(std::move(row));
+    total += t.rows.size();
+    for (std::size_t r = 0; r + 1 < t.rows.size() && all_sorted; ++r) {
+      all_sorted = t.rows[r][seq_col].as_uint64() <=
+                   t.rows[r + 1][seq_col].as_uint64();
+    }
   }
-  // Restore the canonical (unsharded) row order: ascending "seq". Each
-  // shard's rows are already seq-sorted, so a stable sort just interleaves.
-  const std::size_t seq_col = merged.column_index("seq");
-  std::stable_sort(merged.rows.begin(), merged.rows.end(),
-                   [seq_col](const Row& a, const Row& b) {
-                     return a[seq_col].as_uint64() < b[seq_col].as_uint64();
-                   });
+  merged.rows.reserve(total);
+  // Restore the canonical (unsharded) row order: ascending "seq". Study
+  // runners emit each shard seq-sorted, so the common case is a k-way
+  // merge that touches every row exactly once; arbitrarily ordered rows
+  // (hand-assembled artifacts) take the sort path instead.
+  if (all_sorted) {
+    std::vector<std::size_t> head(shards.size(), 0);
+    while (merged.rows.size() < total) {
+      std::size_t best = shards.size();
+      std::uint64_t best_seq = 0;
+      for (std::size_t s = 0; s < shards.size(); ++s) {
+        if (head[s] >= shards[s].rows.size()) continue;
+        const std::uint64_t seq =
+            shards[s].rows[head[s]][seq_col].as_uint64();
+        if (best == shards.size() || seq < best_seq) {
+          best = s;
+          best_seq = seq;
+        }
+      }
+      merged.rows.push_back(std::move(shards[best].rows[head[best]++]));
+    }
+  } else {
+    for (ResultTable& t : shards) {
+      for (Row& row : t.rows) merged.rows.push_back(std::move(row));
+    }
+    std::stable_sort(merged.rows.begin(), merged.rows.end(),
+                     [seq_col](const Row& a, const Row& b) {
+                       return a[seq_col].as_uint64() < b[seq_col].as_uint64();
+                     });
+  }
   for (std::size_t i = 0; i < merged.rows.size(); ++i) {
     const std::uint64_t seq = merged.rows[i][seq_col].as_uint64();
     if (seq != i) {

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,7 +23,22 @@
 #include "src/io/json.h"
 #include "src/study/study_spec.h"
 
+namespace varbench::io::columnar {
+class MappedTable;
+}  // namespace varbench::io::columnar
+
 namespace varbench::study {
+
+/// On-disk artifact encodings. kJson is the human-readable interchange and
+/// debug format; kBinary is the VBT1 columnar format (src/io/columnar/,
+/// docs/artifacts.md) — lossless in both directions. kAuto resolves from
+/// the file name: a ".vbt" extension (also behind a trailing ".part")
+/// means binary, anything else JSON.
+enum class ArtifactFormat { kAuto, kJson, kBinary };
+
+/// The kAuto resolution rule, shared by save(), the CLI, and the campaign
+/// launchers. Never returns kAuto.
+[[nodiscard]] ArtifactFormat infer_artifact_format(std::string_view path);
 
 /// Cells are scalar JSON values (numbers keep their kind, strings stay
 /// strings), so serialization is exact in both directions.
@@ -46,6 +63,14 @@ class ResultTable {
   std::vector<std::string> columns;
   std::vector<Row> rows;
 
+  /// When this table was materialized from a VBT1 binary artifact, the
+  /// live mapping it was decoded from. column_span/column_values read
+  /// column payloads straight off it instead of unpacking io::Json cells.
+  /// Not part of the table's value (operator== ignores it) and dropped by
+  /// merge; spans into it are valid only while `rows` is unmodified since
+  /// materialization (column_span re-checks the row count).
+  std::shared_ptr<const io::columnar::MappedTable> backing;
+
   /// Append with arity check; the first column is conventionally "seq", the
   /// row's global position in the unsharded enumeration (merge sorts on it).
   void add_row(Row row);
@@ -54,14 +79,32 @@ class ResultTable {
   [[nodiscard]] bool has_column(std::string_view column) const;
 
   /// All values of one column as doubles (throws on non-numeric cells).
+  /// Columnar-backed f64 columns copy contiguously from the mapping.
   [[nodiscard]] std::vector<double> column_values(
+      std::string_view column) const;
+
+  /// Zero-copy view of an f64 column when this table is columnar-backed
+  /// and the column is stored as contiguous doubles; std::nullopt
+  /// otherwise (callers fall back to column_values). The span points into
+  /// the backing mapping — keep the table (or its `backing`) alive.
+  [[nodiscard]] std::optional<std::span<const double>> column_span(
       std::string_view column) const;
 
   [[nodiscard]] bool is_complete() const { return shard.is_unsharded(); }
 
-  friend bool operator==(const ResultTable&, const ResultTable&) = default;
+  /// Value equality over identity + provenance fields; the columnar
+  /// backing is a load-path detail and is deliberately not compared.
+  friend bool operator==(const ResultTable& a, const ResultTable& b) {
+    return a.name == b.name && a.spec == b.spec && a.shard == b.shard &&
+           a.seed == b.seed && a.threads == b.threads &&
+           a.wall_time_ms == b.wall_time_ms && a.columns == b.columns &&
+           a.rows == b.rows;
+  }
 
   [[nodiscard]] io::Json to_json(bool include_provenance = true) const;
+  /// The to_json document without its "rows" — the metadata block a VBT1
+  /// binary artifact embeds verbatim (src/io/columnar/).
+  [[nodiscard]] io::Json meta_json(bool include_provenance = true) const;
   [[nodiscard]] std::string to_json_text(bool include_provenance = true) const;
   /// Identity-only serialization — byte-comparable across shard/merge runs
   /// and thread counts.
@@ -75,10 +118,20 @@ class ResultTable {
   [[nodiscard]] static ResultTable from_json(const io::Json& doc);
   [[nodiscard]] static ResultTable from_json_text(std::string_view text);
 
-  /// Read + parse + validate an artifact file in one step. Every failure —
-  /// unreadable file, malformed JSON, unknown schema, shape violation — is
-  /// an io::JsonError naming the path, so batch consumers (report, merge,
-  /// campaign) can say exactly which file is bad.
+  /// Serialize to `path` in the given format (kAuto: see
+  /// infer_artifact_format). Binary saves carry provenance unless told
+  /// otherwise, same as to_json_text.
+  void save(const std::string& path, ArtifactFormat format = ArtifactFormat::kAuto,
+            bool include_provenance = true) const;
+
+  /// Read + parse + validate an artifact file in one step, dispatching on
+  /// content: files opening with the VBT1 magic load through the
+  /// mmap-backed columnar reader (and come back columnar-backed), anything
+  /// else parses as JSON — whatever the extension says. Every failure —
+  /// unreadable file, malformed JSON, unknown schema, corrupt binary
+  /// block, shape violation — is an io::JsonError naming the path, so
+  /// batch consumers (report, merge, campaign) can say exactly which file
+  /// is bad.
   [[nodiscard]] static ResultTable load(const std::string& path);
 };
 

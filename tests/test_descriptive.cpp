@@ -142,5 +142,31 @@ TEST(ImpliedCorrelation, ClampsToValidRange) {
   EXPECT_GE(implied_correlation(0.0, 1.0, 10), -1.0);
 }
 
+TEST(Moments, BitIdenticalToSeparatePasses) {
+  // The fused kernel feeds report summaries whose rendered output is
+  // byte-diffed in CI, so it must match the separate passes exactly —
+  // not just to a tolerance.
+  rngx::Rng rng{0x5eed};
+  std::vector<double> x;
+  for (int i = 0; i < 1000; ++i) x.push_back(rng.normal(3.0, 7.0));
+  const Moments m = moments(x);
+  EXPECT_EQ(m.count, x.size());
+  EXPECT_EQ(m.mean, mean(x));
+  EXPECT_EQ(m.variance, variance(x));
+  EXPECT_EQ(m.stddev, stddev(x));
+  EXPECT_EQ(m.min, min_value(x));
+  EXPECT_EQ(m.max, max_value(x));
+}
+
+TEST(Moments, SingleElementAndEmpty) {
+  const std::vector<double> one{3.5};
+  const Moments m = moments(one);
+  EXPECT_DOUBLE_EQ(m.mean, 3.5);
+  EXPECT_DOUBLE_EQ(m.variance, 0.0);
+  EXPECT_DOUBLE_EQ(m.min, 3.5);
+  EXPECT_DOUBLE_EQ(m.max, 3.5);
+  EXPECT_THROW((void)moments(std::vector<double>{}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace varbench::stats

@@ -192,6 +192,18 @@ bool opt_flag(const Args& a, const std::string& key) {
   return a.find(key) != nullptr;
 }
 
+/// --format for artifact-writing subcommands (run/merge/campaign/convert):
+/// "auto" follows the output path's extension (.vbt → binary), "json" and
+/// "binary" force it. Distinct from report's --format, which picks the
+/// rendering.
+study::ArtifactFormat opt_artifact_format(const Args& a) {
+  const std::string v = opt_string(a, "format", "auto");
+  if (v == "auto") return study::ArtifactFormat::kAuto;
+  if (v == "json") return study::ArtifactFormat::kJson;
+  if (v == "binary" || v == "vbt") return study::ArtifactFormat::kBinary;
+  bad_option("format", v, "auto, json, or binary");
+}
+
 // ------------------------------------------------------------- artifacts
 
 /// Write the artifact/CSV files requested by --out/--csv and print the
@@ -199,8 +211,8 @@ bool opt_flag(const Args& a, const std::string& key) {
 int finish_study(const study::ResultTable& table, const Args& a) {
   const bool canonical = opt_flag(a, "canonical");
   if (const std::string* out = a.find("out")) {
-    io::write_file(*out,
-                   table.to_json_text(/*include_provenance=*/!canonical));
+    table.save(*out, opt_artifact_format(a),
+               /*include_provenance=*/!canonical);
     std::fprintf(stderr, "wrote %s\n", out->c_str());
   }
   if (const std::string* csv = a.find("csv")) {
@@ -234,12 +246,12 @@ int run_built_spec(study::StudySpec spec, const Args& a) {
 
 int cmd_run(const Args& a) {
   require_known_flags(
-      a, {"set", "shard", "threads", "out", "csv", "canonical"});
+      a, {"set", "shard", "threads", "out", "csv", "canonical", "format"});
   if (a.positional.empty()) {
     std::fprintf(stderr,
                  "usage: varbench run <spec.json> [--set key=val ...] "
                  "[--shard i/N] [--threads N] [--out out.json] "
-                 "[--csv out.csv] [--canonical]\n");
+                 "[--csv out.csv] [--canonical] [--format auto|json|binary]\n");
     return 2;
   }
   io::Json doc = io::Json::parse(io::read_file(a.positional[0]));
@@ -259,9 +271,10 @@ int cmd_run(const Args& a) {
 }
 
 /// Expand a merge operand: a file stands for itself; a directory stands for
-/// the `*.json` files it holds — preferring its `artifacts/` subdirectory
-/// when present, so a campaign state dir and a hand-run shard dir merge the
-/// same way. In-flight `.part` files and `campaign.json` are skipped.
+/// the `*.json` and `*.vbt` files it holds (mixed freely) — preferring its
+/// `artifacts/` subdirectory when present, so a campaign state dir and a
+/// hand-run shard dir merge the same way. In-flight `.part` files and
+/// `campaign.json` are skipped.
 std::vector<std::string> expand_shard_paths(const std::string& operand) {
   namespace fs = std::filesystem;
   if (!fs::is_directory(operand)) return {operand};
@@ -270,26 +283,31 @@ std::vector<std::string> expand_shard_paths(const std::string& operand) {
   std::vector<std::string> files;
   for (const auto& entry : fs::directory_iterator{dir}) {
     const fs::path& p = entry.path();
-    if (!entry.is_regular_file() || p.extension() != ".json") continue;
+    if (!entry.is_regular_file() ||
+        (p.extension() != ".json" && p.extension() != ".vbt")) {
+      continue;
+    }
     if (p.filename() == "campaign.json") continue;
     files.push_back(p.string());
   }
   if (files.empty()) {
-    throw std::invalid_argument("merge: no shard artifacts (*.json) in '" +
-                                dir.string() + "'");
+    throw std::invalid_argument(
+        "merge: no shard artifacts (*.json, *.vbt) in '" + dir.string() +
+        "'");
   }
   std::sort(files.begin(), files.end());
   return files;
 }
 
 int cmd_merge(const Args& a) {
-  require_known_flags(a, {"out", "csv"});
+  require_known_flags(a, {"out", "csv", "format"});
   if (a.positional.empty()) {
     std::fprintf(stderr,
-                 "usage: varbench merge <shard.json | shard-dir> ... "
-                 "[--out merged.json] [--csv merged.csv]\n"
-                 "a directory operand merges every *.json inside it (a "
-                 "campaign state dir merges its artifacts/)\n");
+                 "usage: varbench merge <shard.json|shard.vbt | shard-dir> "
+                 "... [--out merged.json] [--csv merged.csv] "
+                 "[--format auto|json|binary]\n"
+                 "a directory operand merges every *.json/*.vbt inside it "
+                 "(a campaign state dir merges its artifacts/)\n");
     return 2;
   }
   std::vector<study::ResultTable> shards;
@@ -302,7 +320,7 @@ int cmd_merge(const Args& a) {
   // A merged artifact has no single producing process; it is always
   // written in canonical (identity-only) form.
   if (const std::string* out = a.find("out")) {
-    io::write_file(*out, merged.canonical_text());
+    merged.save(*out, opt_artifact_format(a), /*include_provenance=*/false);
     std::fprintf(stderr, "wrote %s\n", out->c_str());
   }
   if (const std::string* csv = a.find("csv")) {
@@ -316,7 +334,7 @@ int cmd_merge(const Args& a) {
 int cmd_campaign(const Args& a) {
   require_known_flags(a, {"shards", "workers", "dir", "resume", "max-retries",
                           "stale-ms", "task-timeout-ms", "set", "threads",
-                          "plan-only"});
+                          "plan-only", "format"});
   const std::string dir = opt_string(a, "dir", "");
   const bool plan_only = opt_flag(a, "plan-only");
   if (a.positional.empty() || (dir.empty() && !plan_only)) {
@@ -324,7 +342,7 @@ int cmd_campaign(const Args& a) {
                  "usage: varbench campaign <spec.json> ... --dir <state-dir> "
                  "[--shards N] [--workers K] [--resume] [--max-retries R] "
                  "[--stale-ms T] [--task-timeout-ms T] [--set key=val ...] "
-                 "[--threads N] [--plan-only]\n"
+                 "[--threads N] [--plan-only] [--format json|binary]\n"
                  "each <spec.json> is one StudySpec or a JSON array of "
                  "specs; --resume finishes the gaps of an existing state "
                  "dir; --plan-only validates every spec and prints the task "
@@ -385,6 +403,7 @@ int cmd_campaign(const Args& a) {
       std::chrono::milliseconds{opt_size(a, "task-timeout-ms", 0)};
   cfg.resume = opt_flag(a, "resume");
   cfg.events = stderr;
+  cfg.format = opt_artifact_format(a);  // kAuto behaves as kJson
 
   const auto report = campaign::run_campaign(
       cfg, studies,
@@ -397,6 +416,30 @@ int cmd_campaign(const Args& a) {
     std::fprintf(stderr, "error: %s\n", failure.c_str());
   }
   return report.ok() ? 0 : 1;
+}
+
+/// varbench convert <in> <out>: re-encode one artifact between JSON and
+/// VBT1 binary. Conversion is lossless in both directions — the canonical
+/// identity bytes (and provenance, unless --canonical drops it) survive a
+/// JSON → binary → JSON round trip exactly (docs/artifacts.md).
+int cmd_convert(const Args& a) {
+  require_known_flags(a, {"format", "canonical"});
+  if (a.positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: varbench convert <in.json|in.vbt> <out.vbt|out.json> "
+                 "[--format auto|json|binary] [--canonical]\n"
+                 "the output format follows the output extension unless "
+                 "--format overrides it; --canonical drops provenance "
+                 "(threads/wall time) from the output\n");
+    return 2;
+  }
+  const auto table = study::ResultTable::load(a.positional[0]);
+  table.save(a.positional[1], opt_artifact_format(a),
+             /*include_provenance=*/!opt_flag(a, "canonical"));
+  std::fprintf(stderr, "wrote %s (%zu rows, %zu columns)\n",
+               a.positional[1].c_str(), table.rows.size(),
+               table.columns.size());
+  return 0;
 }
 
 int cmd_report(const Args& a) {
@@ -505,7 +548,7 @@ int cmd_plan(const Args& a) {
 
 int cmd_study(const Args& a) {
   require_known_flags(a, {"reps", "scale", "budget", "seed", "threads", "shard",
-                          "out", "csv", "canonical", "dump-spec"});
+                          "out", "csv", "canonical", "dump-spec", "format"});
   if (a.positional.empty()) {
     std::fprintf(stderr,
                  "usage: varbench study <task> [--reps N] [--scale S] "
@@ -527,7 +570,7 @@ int cmd_study(const Args& a) {
 int cmd_compare(const Args& a) {
   require_known_flags(a, {"runs", "scale", "lr-mult", "gamma", "seed",
                           "threads", "shard", "out", "csv", "canonical",
-                          "dump-spec"});
+                          "dump-spec", "format"});
   if (a.positional.empty()) {
     std::fprintf(stderr,
                  "usage: varbench compare <task> [--runs N] [--scale S] "
@@ -554,7 +597,8 @@ int cmd_compare(const Args& a) {
 
 int cmd_hpo(const Args& a) {
   require_known_flags(a, {"algo", "budget", "scale", "seed", "threads",
-                          "shard", "out", "csv", "canonical", "dump-spec"});
+                          "shard", "out", "csv", "canonical", "dump-spec",
+                          "format"});
   if (a.positional.empty()) {
     std::fprintf(stderr,
                  "usage: varbench hpo <task> [--algo NAME] [--budget T] "
@@ -602,12 +646,16 @@ void usage() {
       "varbench — variance-aware ML benchmarking (MLSys 2021 reproduction)\n"
       "spec-driven interface (docs/study_api.md):\n"
       "  run     <spec.json> [--set key=val ...] [--shard i/N] [--threads N]\n"
-      "          [--out out.json] [--csv out.csv] [--canonical]\n"
-      "  merge   <shard.json | shard-dir> ... [--out merged.json]\n"
-      "          [--csv merged.csv]\n"
+      "          [--out out.json|out.vbt] [--csv out.csv] [--canonical]\n"
+      "          [--format auto|json|binary]\n"
+      "  merge   <shard.json|shard.vbt | shard-dir> ... [--out merged.json]\n"
+      "          [--csv merged.csv] [--format auto|json|binary]\n"
+      "  convert <in> <out> [--format auto|json|binary] [--canonical]\n"
+      "          re-encode an artifact between JSON and VBT1 binary\n"
+      "          (lossless both ways, docs/artifacts.md)\n"
       "  campaign <spec.json> --dir <state-dir> [--shards N] [--workers K]\n"
       "          [--resume] [--max-retries R] [--plan-only]\n"
-      "          (docs/campaigns.md)\n"
+      "          [--format json|binary] (docs/campaigns.md)\n"
       "  list    registered study kinds (incl. every paper figure/table)\n"
       "  report  <artifact.json | dir> [--spec r.json] [--set key=val ...]\n"
       "          [--format text|markdown|csv|json] [--compare other.json]\n"
@@ -638,6 +686,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "merge") return cmd_merge(args);
+    if (cmd == "convert") return cmd_convert(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "report") return cmd_report(args);
     if (cmd == "list") return cmd_list(args);
