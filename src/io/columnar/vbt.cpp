@@ -56,6 +56,9 @@ struct Dictionary {
     const auto it = index.find(s);
     if (it != index.end()) return it->second;
     if (strings.size() >= UINT32_MAX) {
+      // varlint: allow(error-names-path) -- encoder capacity limit hit while
+      // writing, not reading: there is no input file or offset to name, and
+      // the 2^32nd distinct string is not worth echoing.
       throw JsonError("columnar: more than 2^32-1 distinct strings");
     }
     const auto id = static_cast<std::uint32_t>(strings.size());
@@ -252,7 +255,9 @@ std::string encode_vbt(const ResultTable& table, bool include_provenance) {
               payload = dict.index.at(cell.as_string());
               break;
             default:
-              throw JsonError("columnar: cells must be scalars");
+              throw JsonError("columnar: cells must be scalars, got " +
+                              cell.dump() + " at row " + std::to_string(r) +
+                              " of column '" + table.columns[ci] + "'");
           }
           tags[r] = static_cast<std::uint8_t>(tag);
           put_u64(data + 8 * r, payload);

@@ -29,25 +29,29 @@ std::string_view to_string(Json::Type t) {
 
 namespace {
 
-[[noreturn]] void type_error(std::string_view wanted, Json::Type got) {
+[[noreturn]] void type_error(std::string_view wanted, const Json& got) {
+  // The offending value (truncated — arrays/objects can be arbitrarily
+  // large) localizes which field of a spec or artifact was mistyped.
+  std::string value = got.dump();
+  if (value.size() > 64) value.replace(61, std::string::npos, "...");
   throw JsonError("json: expected " + std::string{wanted} + ", got " +
-                  std::string{to_string(got)});
+                  std::string{to_string(got.type())} + " " + value);
 }
 
 }  // namespace
 
 bool Json::as_bool() const {
-  if (type_ != Type::kBool) type_error("bool", type_);
+  if (type_ != Type::kBool) type_error("bool", *this);
   return bool_;
 }
 
 Json::NumKind Json::number_kind() const {
-  if (type_ != Type::kNumber) type_error("number", type_);
+  if (type_ != Type::kNumber) type_error("number", *this);
   return num_kind_;
 }
 
 double Json::as_double() const {
-  if (type_ != Type::kNumber) type_error("number", type_);
+  if (type_ != Type::kNumber) type_error("number", *this);
   switch (num_kind_) {
     case NumKind::kDouble:
       return dbl_;
@@ -60,13 +64,13 @@ double Json::as_double() const {
 }
 
 std::uint64_t Json::as_uint64() const {
-  if (type_ != Type::kNumber) type_error("unsigned integer", type_);
+  if (type_ != Type::kNumber) type_error("unsigned integer", *this);
   switch (num_kind_) {
     case NumKind::kUint:
       return uint_;
     case NumKind::kInt:
       throw JsonError("json: expected unsigned integer, got negative " +
-                      std::to_string(int_));
+                      dump());
     case NumKind::kDouble: {
       const double d = dbl_;
       if (d < 0.0 || d != std::floor(d) || d > 9007199254740992.0) {
@@ -79,13 +83,14 @@ std::uint64_t Json::as_uint64() const {
 }
 
 std::int64_t Json::as_int64() const {
-  if (type_ != Type::kNumber) type_error("integer", type_);
+  if (type_ != Type::kNumber) type_error("integer", *this);
   switch (num_kind_) {
     case NumKind::kInt:
       return int_;
     case NumKind::kUint:
       if (uint_ > static_cast<std::uint64_t>(INT64_MAX)) {
-        throw JsonError("json: integer overflow: " + std::to_string(uint_));
+        throw JsonError("json: integer overflow: " + dump() +
+                        " does not fit a signed 64-bit value");
       }
       return static_cast<std::int64_t>(uint_);
     case NumKind::kDouble: {
@@ -100,17 +105,17 @@ std::int64_t Json::as_int64() const {
 }
 
 const std::string& Json::as_string() const {
-  if (type_ != Type::kString) type_error("string", type_);
+  if (type_ != Type::kString) type_error("string", *this);
   return str_;
 }
 
 const Json::Array& Json::as_array() const {
-  if (type_ != Type::kArray) type_error("array", type_);
+  if (type_ != Type::kArray) type_error("array", *this);
   return arr_;
 }
 
 const Json::Object& Json::as_object() const {
-  if (type_ != Type::kObject) type_error("object", type_);
+  if (type_ != Type::kObject) type_error("object", *this);
   return obj_;
 }
 
@@ -127,7 +132,7 @@ Json* Json::find(std::string_view key) {
 }
 
 const Json& Json::at(std::string_view key) const {
-  if (type_ != Type::kObject) type_error("object", type_);
+  if (type_ != Type::kObject) type_error("object", *this);
   if (const Json* v = find(key)) return *v;
   std::string have;
   for (const auto& [k, v] : obj_) {
@@ -140,7 +145,7 @@ const Json& Json::at(std::string_view key) const {
 
 void Json::set(std::string key, Json value) {
   if (type_ == Type::kNull) type_ = Type::kObject;
-  if (type_ != Type::kObject) type_error("object", type_);
+  if (type_ != Type::kObject) type_error("object", *this);
   for (auto& [k, v] : obj_) {
     if (k == key) {
       v = std::move(value);
@@ -152,14 +157,14 @@ void Json::set(std::string key, Json value) {
 
 void Json::push_back(Json value) {
   if (type_ == Type::kNull) type_ = Type::kArray;
-  if (type_ != Type::kArray) type_error("array", type_);
+  if (type_ != Type::kArray) type_error("array", *this);
   arr_.push_back(std::move(value));
 }
 
 std::size_t Json::size() const {
   if (type_ == Type::kArray) return arr_.size();
   if (type_ == Type::kObject) return obj_.size();
-  type_error("array or object", type_);
+  type_error("array or object", *this);
 }
 
 bool operator==(const Json& a, const Json& b) {

@@ -1,0 +1,206 @@
+#include "src/lint/lexer.h"
+
+namespace varbench::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return is_ident_start(c) || (c >= '0' && c <= '9');
+}
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+/// Raw-string encoding prefixes: the identifier immediately before a '"'
+/// that switches the literal into raw mode.
+bool is_raw_prefix(std::string_view ident) {
+  return ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_{src} {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        advance();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        advance();
+        continue;
+      }
+      const std::size_t line = line_;
+      const std::size_t col = col_;
+      const std::size_t start = pos_;
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        out.push_back(make(Token::Kind::kComment, start, line, col));
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        out.push_back(make(Token::Kind::kComment, start, line, col));
+        continue;
+      }
+      if (c == '"') {
+        lex_quoted('"');
+        out.push_back(make(Token::Kind::kString, start, line, col));
+        continue;
+      }
+      if (c == '\'') {
+        lex_quoted('\'');
+        out.push_back(make(Token::Kind::kChar, start, line, col));
+        continue;
+      }
+      if (is_ident_start(c)) {
+        while (pos_ < src_.size() && is_ident_char(src_[pos_])) advance();
+        std::string_view ident = src_.substr(start, pos_ - start);
+        if (is_raw_prefix(ident) && pos_ < src_.size() && src_[pos_] == '"') {
+          lex_raw_string();
+          out.push_back(make(Token::Kind::kString, start, line, col));
+          continue;
+        }
+        // Ordinary encoding prefixes (L"x", u8"x") stay glued to their
+        // literal so the string token carries the full lexeme.
+        if ((ident == "L" || ident == "u" || ident == "U" || ident == "u8") &&
+            pos_ < src_.size() &&
+            (src_[pos_] == '"' || src_[pos_] == '\'')) {
+          lex_quoted(src_[pos_]);
+          out.push_back(make(src_[start + ident.size()] == '"'
+                                 ? Token::Kind::kString
+                                 : Token::Kind::kChar,
+                             start, line, col));
+          continue;
+        }
+        out.push_back(make(Token::Kind::kIdent, start, line, col));
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        lex_number();
+        out.push_back(make(Token::Kind::kNumber, start, line, col));
+        continue;
+      }
+      if (c == ':' && peek(1) == ':') {
+        advance();
+        advance();
+        out.push_back(make(Token::Kind::kPunct, start, line, col));
+        continue;
+      }
+      advance();
+      out.push_back(make(Token::Kind::kPunct, start, line, col));
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  Token make(Token::Kind kind, std::size_t start, std::size_t line,
+             std::size_t col) const {
+    return Token{kind, std::string{src_.substr(start, pos_ - start)}, line,
+                 col};
+  }
+
+  void lex_line_comment() {
+    while (pos_ < src_.size() && src_[pos_] != '\n') advance();
+  }
+
+  void lex_block_comment() {
+    advance();  // '/'
+    advance();  // '*'
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        advance();
+        advance();
+        return;
+      }
+      advance();
+    }
+  }
+
+  /// "..." or '...': backslash escapes honoured; an unescaped newline
+  /// terminates the literal (malformed code should not swallow the file).
+  void lex_quoted(char quote) {
+    advance();  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        advance();
+        advance();
+        continue;
+      }
+      if (c == '\n') return;
+      advance();
+      if (c == quote) return;
+    }
+  }
+
+  /// R"delim( ... )delim" — the only literal form where banned names
+  /// routinely hide across multiple lines (test fixtures embed whole
+  /// source files this way).
+  void lex_raw_string() {
+    advance();  // opening '"'
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(' && src_[pos_] != '\n') {
+      delim += src_[pos_];
+      advance();
+    }
+    if (pos_ >= src_.size() || src_[pos_] != '(') return;  // malformed
+    advance();  // '('
+    const std::string close = ")" + delim + "\"";
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == ')' &&
+          src_.compare(pos_, close.size(), close) == 0) {
+        for (std::size_t i = 0; i < close.size(); ++i) advance();
+        return;
+      }
+      advance();
+    }
+  }
+
+  /// Loose pp-number: digits, letters, '.', digit separators, and signed
+  /// exponents. Over-accepts relative to the standard, which is fine —
+  /// rules never inspect number internals.
+  void lex_number() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        const bool exponent = (c == 'e' || c == 'E' || c == 'p' || c == 'P');
+        advance();
+        if (exponent && (peek(0) == '+' || peek(0) == '-')) advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) { return Lexer{src}.run(); }
+
+}  // namespace varbench::lint

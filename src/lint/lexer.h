@@ -1,0 +1,42 @@
+// Token-level C++ lexer for varlint (docs/static_analysis.md).
+//
+// This is deliberately not a parser: varlint's determinism-contract rules
+// only need to see identifiers, punctuation, and comments with accurate
+// line numbers, while never being fooled by banned names appearing inside
+// string literals, raw strings, char literals, or comments. The lexer
+// therefore recognizes exactly the C++ lexical shapes that matter for
+// that guarantee — line/block comments, "..." strings with escapes,
+// R"delim(...)delim" raw strings (with encoding prefixes), '...' char
+// literals, numbers with digit separators — and emits everything else as
+// identifier or punctuation tokens.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace varbench::lint {
+
+struct Token {
+  enum class Kind : int {
+    kIdent,    // identifiers and keywords
+    kNumber,   // numeric literals, digit separators included
+    kString,   // "..." and R"delim(...)delim", full literal text
+    kChar,     // '...'
+    kPunct,    // single-char punctuation, plus "::"
+    kComment,  // // and /* */, full text including the markers
+  };
+
+  Kind kind = Kind::kPunct;
+  std::string text;
+  std::size_t line = 1;  // 1-based line of the token's first character
+  std::size_t col = 1;   // 1-based column of the token's first character
+};
+
+/// Lex an entire translation unit. Never throws on malformed input:
+/// unterminated literals/comments extend to end of input, so lint rules
+/// degrade gracefully on half-written code.
+[[nodiscard]] std::vector<Token> lex(std::string_view src);
+
+}  // namespace varbench::lint

@@ -1,0 +1,75 @@
+// varlint — the project's determinism-contract static analyzer
+// (docs/static_analysis.md).
+//
+// Every guarantee varbench makes — byte-identical artifacts at any
+// --threads, any shard split, either artifact encoding — rests on source
+// invariants: all randomness flows through src/rngx, no wall-clock reads
+// outside the provenance/heartbeat whitelist, no raw threads outside
+// src/exec, no unordered-container iteration order leaking into output,
+// and src/io errors that name a path/offset so corrupt artifacts are
+// localizable. The e2e byte-diffs in CI catch a violation; varlint
+// localizes it to a file:line before it ever reaches a campaign.
+//
+// Findings can be suppressed per line, but only with a reason:
+//
+//   do_risky_thing();  // varlint: allow(no-wallclock) -- heartbeat stamp
+//
+// A suppression comment alone on its line covers the next line. Stale or
+// reason-less suppressions are themselves findings, so the suppression
+// inventory cannot rot (rules `suppression-syntax`/`suppression-unused`).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lint/lexer.h"
+
+namespace varbench::lint {
+
+struct Finding {
+  std::string rule;
+  std::string path;  // project-relative, '/'-separated
+  std::size_t line = 0;
+  std::string message;
+  bool suppressed = false;
+  std::string suppress_reason;  // non-empty iff suppressed
+};
+
+/// One registered rule, as shown by `varlint --list-rules`. The scope
+/// strings are path prefixes on the project-relative path; an empty
+/// `only_under` means the rule applies everywhere its `not_under` and
+/// `headers_only` filters allow.
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+  std::vector<std::string> only_under;
+  std::vector<std::string> not_under;
+  bool headers_only = false;
+};
+
+/// The full registry, in diagnostic order (includes the two suppression
+/// meta-rules, which cannot themselves be suppressed).
+[[nodiscard]] const std::vector<RuleInfo>& rule_registry();
+
+/// Lint one translation unit. `rel_path` is the project-relative path
+/// ('/'-separated) the scope filters match against — tests pass synthetic
+/// paths to exercise per-directory rules on fixture sources. Findings come
+/// back sorted by (line, rule), suppressions already applied.
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& rel_path,
+                                               std::string_view source);
+
+[[nodiscard]] std::size_t count_unsuppressed(
+    const std::vector<Finding>& findings);
+
+/// "path:line: [rule] message" lines plus a summary line — the format CI
+/// logs and editors both parse.
+[[nodiscard]] std::string render_text(const std::vector<Finding>& findings,
+                                      std::size_t files_scanned);
+
+/// Deterministic JSON document ({"findings": [...], ...}) for tooling.
+[[nodiscard]] std::string render_json(const std::vector<Finding>& findings,
+                                      std::size_t files_scanned);
+
+}  // namespace varbench::lint

@@ -13,9 +13,11 @@
 #include "src/core/estimators.h"
 #include "src/core/variance_study.h"
 #include "src/exec/parallel_replicate.h"
+#include "src/io/json.h"
 #include "src/stats/descriptive.h"
 #include "src/stats/prob_outperform.h"
 #include "src/study/figures/figures.h"
+#include "src/version.h"
 
 namespace varbench::study {
 
@@ -460,8 +462,11 @@ void validate_study_spec(const StudySpec& spec) {
 ResultTable run_study(const StudySpec& spec) {
   validate_study_spec(spec);
   const auto it = runner_map().find(spec.kind);
+  // varlint: allow(no-wallclock) -- wall_time_ms is provenance, not
+  // identity: it is stripped by --canonical and never merged or compared.
   const auto start = std::chrono::steady_clock::now();
   ResultTable table = it->second(spec);
+  // varlint: allow(no-wallclock) -- closes the provenance interval above.
   const auto elapsed = std::chrono::steady_clock::now() - start;
 
   table.name = std::string{to_string(spec.kind)} + ":" + spec.case_study;
@@ -541,6 +546,25 @@ std::string list_study_kinds_text() {
     out += "\n";
   }
   return out;
+}
+
+std::string list_study_kinds_json() {
+  io::Json doc = io::Json::object();
+  doc.set("tool", "varbench");
+  doc.set("version", std::string{kVersion});
+  io::Json kinds = io::Json::array();
+  for (const auto& info : registered_study_kinds()) {
+    io::Json item = io::Json::object();
+    item.set("name", info.name);
+    item.set("title", info.title);
+    item.set("shardable", info.shardable);
+    io::Json params = io::Json::array();
+    for (const auto& key : info.param_keys) params.push_back(io::Json{key});
+    item.set("params", std::move(params));
+    kinds.push_back(std::move(item));
+  }
+  doc.set("kinds", std::move(kinds));
+  return doc.dump(2) + "\n";
 }
 
 void print_summary(const ResultTable& table, std::FILE* out) {

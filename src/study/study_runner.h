@@ -67,4 +67,10 @@ struct StudyKindInfo {
 /// The `varbench list` rendering of registered_study_kinds().
 [[nodiscard]] std::string list_study_kinds_text();
 
+/// The `varbench list --json` rendering: a deterministic document
+/// ({"tool", "version", "kinds": [{name, title, shardable, params}]})
+/// for tooling — same introspection convention as `varlint --list-rules
+/// --json`.
+[[nodiscard]] std::string list_study_kinds_json();
+
 }  // namespace varbench::study

@@ -1,0 +1,13 @@
+// Single source of truth for the toolchain version string, so `varbench
+// --version`, `varlint --version`, and the JSON introspection surfaces
+// (`varbench list --json`, `varlint --list-rules --json`) all report the
+// same value and tooling can key on it.
+#pragma once
+
+#include <string_view>
+
+namespace varbench {
+
+inline constexpr std::string_view kVersion = "0.7.0";
+
+}  // namespace varbench

@@ -1,0 +1,34 @@
+// Fixture: error-names-path hits and misses.
+// Linted by test_lint.cpp under a synthetic path INSIDE src/io/ (the rule
+// only applies there).
+#include <stdexcept>
+#include <string>
+
+void hits(int value) {
+  if (value == 0) {
+    throw std::runtime_error("malformed artifact");  // HIT: no context
+  }
+  throw std::runtime_error("bad magic");             // HIT: no context
+}
+
+void misses(const std::string& path, std::size_t offset,
+            const std::string& key) {
+  if (path.empty()) {
+    throw std::runtime_error("cannot open '" + path + "'");  // names a path
+  }
+  if (offset > 0) {
+    throw std::runtime_error("truncated at offset " +
+                             std::to_string(offset));  // names an offset
+  }
+  try {
+    throw std::runtime_error("missing key '" + key + "'");  // names a key
+  } catch (...) {
+    throw;  // bare rethrow keeps the original error's context
+  }
+}
+
+void suppressed() {
+  // varlint: allow(error-names-path) -- fixture: capacity limit with no
+  // input file to name.
+  throw std::runtime_error("encoder capacity exceeded");
+}

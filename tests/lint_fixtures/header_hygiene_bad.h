@@ -1,0 +1,7 @@
+// Fixture: header-hygiene hits — no #pragma once before the first token,
+// and a using-directive at namespace scope.
+#include <string>
+
+using namespace std;  // HIT: pollutes every includer
+
+inline string greeting() { return "hi"; }

@@ -1,0 +1,10 @@
+// Fixture: header-hygiene miss — a comment block before #pragma once is
+// fine; qualified names and using-declarations inside functions are fine.
+#pragma once
+
+#include <string>
+
+inline std::string greeting() {
+  using std::string;  // using-declaration, not a using-directive
+  return string{"hi"};
+}

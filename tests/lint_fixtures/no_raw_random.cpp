@@ -1,0 +1,29 @@
+// Fixture: no-raw-random hits, misses, and a suppression.
+// Linted by test_lint.cpp under a synthetic path OUTSIDE src/rngx/.
+#include <cstdlib>
+
+void hits() {
+  int a = rand();                         // HIT: C rand()
+  std::srand(42);                         // HIT: C srand()
+  std::mt19937 engine{123};               // HIT: std engine
+  std::uniform_int_distribution<int> d;   // HIT: std distribution
+  std::random_device rd;                  // HIT: nondeterministic seed source
+  (void)a;
+  (void)d;
+  (void)rd;
+}
+
+void misses() {
+  // Banned names in comments never fire: rand(), mt19937, random_device.
+  const char* text = "rand() mt19937 random_device";   // nor in strings
+  const char* raw = R"(srand(1); std::mt19937 gen;)";  // nor in raw strings
+  int random_budget = 3;  // identifiers merely containing 'rand' are fine
+  (void)text;
+  (void)raw;
+  (void)random_budget;
+}
+
+void suppressed() {
+  std::mt19937 legacy;  // varlint: allow(no-raw-random) -- fixture: golden suppression case
+  (void)legacy;
+}

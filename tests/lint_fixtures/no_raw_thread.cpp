@@ -1,0 +1,23 @@
+// Fixture: no-raw-thread hits and misses.
+// Linted under a synthetic path outside src/exec/.
+#include <thread>
+
+void hits() {
+  std::thread worker([] {});        // HIT: raw thread spawn
+  auto fut = std::async([] {});     // HIT: std::async
+  worker.join();
+  (void)fut;
+}
+
+#pragma omp parallel for
+void omp_hit() {}  // the pragma above is the HIT line
+
+void misses() {
+  // hardware_concurrency is a query, not a spawn; this_thread is sleep
+  // and yield, which cannot perturb per-index RNG streams.
+  unsigned n = std::thread::hardware_concurrency();
+  std::this_thread::yield();
+  int async_depth = 2;  // plain identifier named 'async' is fine
+  (void)n;
+  (void)async_depth;
+}

@@ -1,0 +1,29 @@
+// Fixture: no-unordered-iter hits and misses.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+double hits() {
+  std::unordered_map<std::string, double> scores;
+  std::unordered_set<int> seen;
+  double total = 0.0;
+  for (const auto& kv : scores) {       // HIT: range-for over unordered_map
+    total += kv.second;
+  }
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // HIT: .begin()
+    total += *it;
+  }
+  return total;
+}
+
+double misses() {
+  std::map<std::string, double> ordered;
+  std::unordered_map<std::string, double> lookup;
+  double total = lookup.count("a") ? lookup.at("a") : 0.0;  // lookups fine
+  for (const auto& kv : ordered) {  // ordered containers iterate freely
+    total += kv.second;
+  }
+  return total;
+}

@@ -1,0 +1,34 @@
+// Fixture: no-wallclock hits, misses, and a suppression.
+// Linted under a synthetic path outside src/campaign/ and bench/.
+#include <chrono>
+#include <ctime>
+
+void hits() {
+  auto t1 = std::chrono::steady_clock::now();            // HIT
+  auto t2 = std::chrono::system_clock::now();            // HIT
+  auto t3 = std::chrono::high_resolution_clock::now();   // HIT
+  std::time_t t4 = time(nullptr);                        // HIT: C time()
+  struct timespec ts;
+  clock_gettime(0, &ts);                                 // HIT
+  (void)t1;
+  (void)t2;
+  (void)t3;
+  (void)t4;
+}
+
+void misses() {
+  using namespace std::chrono_literals;
+  auto heartbeat_interval = 60000ms;       // durations are not clock reads
+  auto wall_time_ms = 12.5;                // 'time' inside a name is fine
+  auto member = [](auto& obj) { return obj.time(); };  // member call exempt
+  (void)heartbeat_interval;
+  (void)wall_time_ms;
+  (void)member;
+}
+
+void suppressed() {
+  // varlint: allow(no-wallclock) -- fixture: standalone comment covers the
+  // next line of code, across a wrapped reason.
+  auto stamp = std::chrono::steady_clock::now();
+  (void)stamp;
+}

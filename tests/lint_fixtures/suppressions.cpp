@@ -1,0 +1,20 @@
+// Fixture: the suppression meta-rules.
+#include <chrono>
+
+void cases() {
+  // A reason-less suppression is itself a finding AND does not suppress.
+  auto a = std::chrono::steady_clock::now();  // varlint: allow(no-wallclock)
+
+  // An unknown rule name is a finding.
+  auto b = std::chrono::steady_clock::now();  // varlint: allow(no-wait-what) -- typo'd rule
+
+  // A well-formed suppression whose rule never fires on the line is stale.
+  int c = 1;  // varlint: allow(no-wallclock) -- nothing to suppress here
+
+  // Prose ABOUT varlint is ignored: mention varlint: allow(no-wallclock)
+  // mid-comment and nothing happens.
+  auto d = a;
+  (void)b;
+  (void)c;
+  (void)d;
+}

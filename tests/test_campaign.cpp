@@ -180,8 +180,10 @@ TEST(WorkQueueTest, StaleClaimsAreRequeuedFresshOnesKept) {
 
   // Age the ghost's claim far past any threshold; keep ours heartbeating.
   const fs::path ghost_claim = fs::path{dir.str()} / "claims" / "fresh.claim";
-  fs::last_write_time(ghost_claim,
-                      fs::file_time_type::clock::now() - 1h);
+  // varlint: allow(no-wallclock) -- backdating a claim heartbeat to fake a
+  // dead coordinator is the scenario under test.
+  const auto long_ago = fs::file_time_type::clock::now() - 1h;
+  fs::last_write_time(ghost_claim, long_ago);
   q.heartbeat(*fresh_claim);
 
   const auto reclaimed = q.requeue_stale_claims(1min, "me");
@@ -323,8 +325,11 @@ TEST(Campaign, StaleClaimFromCrashedWorkerIsReclaimed) {
   q.enqueue(Ticket{"s0-0of3", 0, "ghost"});
   auto ghost = q.try_claim("ghost");
   ASSERT_TRUE(ghost.has_value());
+  // varlint: allow(no-wallclock) -- backdating the ghost's heartbeat is the
+  // crash scenario under test.
+  const auto stopped_long_ago = fs::file_time_type::clock::now() - 1h;
   fs::last_write_time(fs::path{dir.str()} / "claims" / "s0-0of3.claim",
-                      fs::file_time_type::clock::now() - 1h);
+                      stopped_long_ago);
 
   const auto spec = tiny_compare_spec();
   const auto report =

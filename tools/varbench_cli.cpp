@@ -57,6 +57,7 @@
 #include "src/study/study_runner.h"
 #include "src/study/study_spec.h"
 #include "src/varbench.h"
+#include "src/version.h"
 
 namespace {
 
@@ -92,8 +93,8 @@ struct Args {
 
 /// Flags that never consume the following token as a value.
 const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> flags{"canonical", "help", "plan-only",
-                                           "resume"};
+  static const std::set<std::string> flags{"canonical", "help", "json",
+                                           "plan-only", "resume"};
   return flags;
 }
 
@@ -514,7 +515,11 @@ int cmd_report(const Args& a) {
 // ----------------------------------------------------- legacy subcommands
 
 int cmd_list(const Args& a) {
-  require_known_flags(a, {});
+  require_known_flags(a, {"json"});
+  if (a.find("json") != nullptr) {
+    std::fputs(study::list_study_kinds_json().c_str(), stdout);
+    return 0;
+  }
   std::fputs(study::list_study_kinds_text().c_str(), stdout);
   std::printf(
       "\nrun one with: varbench run spec.json (spec: {\"kind\": \"<name>\"} "
@@ -656,7 +661,8 @@ void usage() {
       "  campaign <spec.json> --dir <state-dir> [--shards N] [--workers K]\n"
       "          [--resume] [--max-retries R] [--plan-only]\n"
       "          [--format json|binary] (docs/campaigns.md)\n"
-      "  list    registered study kinds (incl. every paper figure/table)\n"
+      "  list    [--json]  registered study kinds (incl. every paper\n"
+      "          figure/table); --json emits the machine-readable registry\n"
       "  report  <artifact.json | dir> [--spec r.json] [--set key=val ...]\n"
       "          [--format text|markdown|csv|json] [--compare other.json]\n"
       "          [--threads N] [--out file] (docs/reporting.md)\n"
@@ -670,7 +676,8 @@ void usage() {
       "  audit   <task> [--scale]\n"
       "--threads N runs the Monte-Carlo loops on N threads (0 = all cores)\n"
       "and --shard i/N computes slice i of N; results are bit-identical for\n"
-      "every N and any shard/merge split (docs/determinism.md).\n");
+      "every N and any shard/merge split (docs/determinism.md).\n"
+      "varbench --version prints the release version and exits.\n");
 }
 
 }  // namespace
@@ -682,6 +689,11 @@ int main(int argc, char** argv) {
   }
   g_argv0 = argv[0];
   const std::string cmd = argv[1];
+  if (cmd == "--version") {
+    std::printf("varbench %.*s\n", static_cast<int>(kVersion.size()),
+                kVersion.data());
+    return 0;
+  }
   const Args args = parse(argc, argv, 2);
   try {
     if (cmd == "run") return cmd_run(args);

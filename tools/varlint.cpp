@@ -1,0 +1,197 @@
+// varlint — determinism-contract static analyzer for the varbench tree
+// (docs/static_analysis.md).
+//
+//   varlint [path ...] [--root DIR] [--exclude SUBSTR ...] [--json]
+//   varlint --list-rules [--json]
+//   varlint --version
+//
+// Each path is a file or a directory (recursed for *.h/*.hpp/*.cpp/*.cc);
+// with no paths, lints src/ tools/ bench/ tests/ under --root (default:
+// the current directory). Rule scopes match on the path relative to
+// --root, so run it from the repository root or pass --root explicitly.
+// tests/lint_fixtures/ (intentional violations used by test_lint) and
+// build trees are excluded by default.
+//
+// Exit status: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/io/json.h"
+#include "src/lint/lint.h"
+#include "src/version.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace varbench;
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+/// The path rules match on: relative to root, '/'-separated.
+std::string relative_to_root(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(file, root, ec);
+  const fs::path chosen = (ec || rel.empty()) ? file : rel;
+  return chosen.lexically_normal().generic_string();
+}
+
+int list_rules(bool as_json) {
+  if (as_json) {
+    io::Json doc = io::Json::object();
+    doc.set("tool", "varlint");
+    doc.set("version", kVersion);
+    io::Json arr = io::Json::array();
+    for (const lint::RuleInfo& info : lint::rule_registry()) {
+      io::Json item = io::Json::object();
+      item.set("name", info.name);
+      item.set("summary", info.summary);
+      io::Json only = io::Json::array();
+      for (const std::string& p : info.only_under) only.push_back(p);
+      item.set("only_under", std::move(only));
+      io::Json avoid = io::Json::array();
+      for (const std::string& p : info.not_under) avoid.push_back(p);
+      item.set("not_under", std::move(avoid));
+      item.set("headers_only", info.headers_only);
+      arr.push_back(std::move(item));
+    }
+    doc.set("rules", std::move(arr));
+    std::printf("%s\n", doc.dump(2).c_str());
+    return 0;
+  }
+  std::printf("varlint %.*s — registered rules:\n",
+              static_cast<int>(kVersion.size()), kVersion.data());
+  for (const lint::RuleInfo& info : lint::rule_registry()) {
+    std::printf("  %-20s %s\n", info.name.c_str(), info.summary.c_str());
+    std::string scope;
+    for (const std::string& p : info.only_under) {
+      scope += (scope.empty() ? "only under " : ", ") + p;
+    }
+    for (const std::string& p : info.not_under) {
+      scope += (scope.empty() ? "exempt: " : ", ") + p;
+    }
+    if (info.headers_only) {
+      scope += scope.empty() ? "headers only" : "; headers only";
+    }
+    if (!scope.empty()) std::printf("  %-20s (%s)\n", "", scope.c_str());
+  }
+  std::printf(
+      "suppress per line with: // varlint: allow(<rule>) -- <reason>\n");
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: varlint [path ...] [--root DIR] [--exclude SUBSTR ...] "
+      "[--json]\n"
+      "       varlint --list-rules [--json]\n"
+      "       varlint --version\n"
+      "paths default to src tools bench tests under --root (default: .);\n"
+      "exit 1 on any unsuppressed finding (docs/static_analysis.md)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> operands;
+  std::vector<std::string> excludes = {"tests/lint_fixtures", "build"};
+  std::string root = ".";
+  bool as_json = false;
+  bool want_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--list-rules") {
+      want_rules = true;
+    } else if (arg == "--version") {
+      std::printf("varlint %.*s\n", static_cast<int>(kVersion.size()),
+                  kVersion.data());
+      return 0;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) return usage();
+      root = argv[++i];
+    } else if (arg == "--exclude") {
+      if (i + 1 >= argc) return usage();
+      excludes.push_back(argv[++i]);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "varlint: unknown flag '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      operands.push_back(arg);
+    }
+  }
+  if (want_rules) return list_rules(as_json);
+  if (operands.empty()) operands = {"src", "tools", "bench", "tests"};
+
+  const fs::path root_path{root};
+  std::vector<std::string> files;
+  try {
+    for (const std::string& operand : operands) {
+      const fs::path p =
+          fs::path{operand}.is_absolute() ? fs::path{operand}
+                                          : root_path / operand;
+      if (fs::is_directory(p)) {
+        for (const auto& entry : fs::recursive_directory_iterator{p}) {
+          if (entry.is_regular_file() && lintable_extension(entry.path())) {
+            files.push_back(entry.path().string());
+          }
+        }
+      } else if (fs::is_regular_file(p)) {
+        files.push_back(p.string());
+      } else {
+        std::fprintf(stderr, "varlint: no such file or directory: %s\n",
+                     p.string().c_str());
+        return 2;
+      }
+    }
+  } catch (const fs::filesystem_error& e) {
+    std::fprintf(stderr, "varlint: %s\n", e.what());
+    return 2;
+  }
+
+  // Deterministic order regardless of directory enumeration, and the
+  // exclusion filter works on the rule-visible relative path.
+  std::vector<std::pair<std::string, std::string>> rel_and_abs;
+  for (const std::string& file : files) {
+    const std::string rel = relative_to_root(file, root_path);
+    const bool excluded =
+        std::any_of(excludes.begin(), excludes.end(),
+                    [&rel](const std::string& needle) {
+                      return rel.find(needle) != std::string::npos;
+                    });
+    if (!excluded) rel_and_abs.emplace_back(rel, file);
+  }
+  std::sort(rel_and_abs.begin(), rel_and_abs.end());
+  rel_and_abs.erase(std::unique(rel_and_abs.begin(), rel_and_abs.end()),
+                    rel_and_abs.end());
+
+  std::vector<lint::Finding> findings;
+  for (const auto& [rel, abs] : rel_and_abs) {
+    std::string source;
+    try {
+      source = io::read_file(abs);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "varlint: %s\n", e.what());
+      return 2;
+    }
+    std::vector<lint::Finding> file_findings = lint::lint_source(rel, source);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+
+  const std::string rendered =
+      as_json ? lint::render_json(findings, rel_and_abs.size())
+              : lint::render_text(findings, rel_and_abs.size());
+  std::fputs(rendered.c_str(), stdout);
+  return lint::count_unsuppressed(findings) == 0 ? 0 : 1;
+}
