@@ -90,9 +90,11 @@ struct PathTimes {
 }  // namespace
 
 int main() {
+  // VARBENCH_ROWS / VARBENCH_SHARDS are bespoke to this harness; the
+  // shared knobs come from the one BenchSpec parse (bench/bench_spec.h).
   const std::size_t rows = benchutil::env_size("VARBENCH_ROWS", 1'000'000);
   const std::size_t shards = benchutil::env_size("VARBENCH_SHARDS", 4);
-  const std::size_t reps = benchutil::env_size("VARBENCH_REPS", 3);
+  const std::size_t reps = benchutil::BenchSpec::env().reps.value_or(3);
   const char* out_env = std::getenv("VARBENCH_OUT");
   const fs::path dir =
       out_env != nullptr && *out_env != '\0'

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/metrics/metrics.h"
 #include "src/varbench.h"
 
 namespace {
@@ -31,11 +32,13 @@ struct PathResult {
 PathResult run_variance_study_path(const core::LearningPipeline& pipeline,
                                    const ml::Dataset& pool,
                                    const core::Splitter& splitter,
-                                   std::size_t reps, std::size_t threads) {
+                                   std::size_t reps, std::size_t threads,
+                                   metrics::Sink* sink = nullptr) {
   core::VarianceStudyConfig cfg;
   cfg.repetitions = reps;
   cfg.include_numerical_noise = false;
   cfg.exec = exec::ExecContext{threads};
+  cfg.exec.metrics = sink;
   rngx::Rng master{42};
   const auto start = Clock::now();
   const auto study = core::run_variance_study(pipeline, pool, splitter, cfg,
@@ -123,10 +126,10 @@ void sweep(const char* path_name, const std::vector<std::size_t>& counts,
 }  // namespace
 
 int main() {
+  const benchutil::BenchSpec& knobs = benchutil::BenchSpec::env();
   const std::size_t hw = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
-  const std::size_t max_threads =
-      benchutil::env_size("VARBENCH_THREADS", hw);
+  const std::size_t max_threads = knobs.threads != 0 ? knobs.threads : hw;
   std::vector<std::size_t> counts{1};
   for (std::size_t t = 2; t <= max_threads; t *= 2) counts.push_back(t);
   if (counts.back() != max_threads) counts.push_back(max_threads);
@@ -156,7 +159,7 @@ int main() {
   spec.defaults = {{"learning_rate", 0.1}};
   const casestudies::MlpPipeline pipeline{std::move(spec)};
   const core::OutOfBootstrapSplitter splitter{180, 80};
-  const std::size_t reps = benchutil::env_size("VARBENCH_REPS", 24);
+  const std::size_t reps = knobs.reps.value_or(24);
   sweep("variance_study", counts, [&](std::size_t threads) {
     return run_variance_study_path(pipeline, pool, splitter, reps, threads);
   });
@@ -173,6 +176,47 @@ int main() {
   sweep("error_rates", counts, [&](std::size_t threads) {
     return run_error_rates_path(200, threads);
   });
+
+  // Metrics overhead + invariance audit (docs/metrics.md): the identical
+  // workload with every exec metric live must produce bit-identical
+  // numbers, and the disabled path's cost is the acceptance budget
+  // (<= 1% — a disabled metric is one predictable branch per record).
+  benchutil::section("metrics overhead: exec metrics on vs off");
+  {
+    const auto best_of = [&](metrics::Sink* sink) {
+      PathResult best;
+      for (int i = 0; i < 3; ++i) {
+        PathResult r = run_variance_study_path(pipeline, pool, splitter, reps,
+                                               max_threads, sink);
+        if (i == 0 || r.seconds < best.seconds) best = std::move(r);
+      }
+      return best;
+    };
+    const PathResult off = best_of(nullptr);
+    metrics::Sink sink;
+    metrics::enable_selection(sink, "exec");
+    const PathResult on = best_of(&sink);
+    const double overhead =
+        off.seconds > 0.0 ? 100.0 * (on.seconds - off.seconds) / off.seconds
+                          : 0.0;
+    std::printf("  metrics off: %.4fs   metrics on: %.4fs   overhead: %+.2f%%\n",
+                off.seconds, on.seconds, overhead);
+    const metrics::Snapshot snap = sink.snapshot();
+    const metrics::MetricSnapshot* chunks = snap.find(metrics::kExecChunks);
+    std::printf("  recorded: %llu chunks across %llu regions\n",
+                static_cast<unsigned long long>(
+                    chunks != nullptr ? chunks->count : 0),
+                static_cast<unsigned long long>(
+                    snap.find(metrics::kExecRegions) != nullptr
+                        ? snap.find(metrics::kExecRegions)->sum
+                        : 0));
+    if (on.signature != off.signature) {
+      std::printf("  DETERMINISM FAILURE: enabling metrics changed bytes\n");
+      ++g_determinism_failures;
+    } else {
+      std::printf("  metrics on/off results bit-identical\n");
+    }
+  }
 
   if (g_determinism_failures != 0) {
     std::printf("\nDETERMINISM FAILURES: %d\n", g_determinism_failures);

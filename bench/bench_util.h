@@ -28,6 +28,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench/bench_spec.h"
 #include "src/exec/exec_context.h"
 #include "src/study/figures/figures.h"
 #include "src/study/result_table.h"
@@ -68,15 +69,9 @@ inline bool env_flag(const char* name) {
 /// Execution context of the harness's own Monte-Carlo loops. Defaults to
 /// all hardware threads; the determinism contract (docs/determinism.md)
 /// makes the printed numbers invariant to the setting.
-inline exec::ExecContext exec_context() {
-  return exec::ExecContext{env_size("VARBENCH_THREADS", 0)};
-}
+inline exec::ExecContext exec_context() { return BenchSpec::env().context(); }
 
-inline double scale() {
-  if (env_flag("VARBENCH_FULL")) return 1.0;
-  const double s = env_double("VARBENCH_SCALE", 0.3);
-  return s > 0.0 && s <= 1.0 ? s : 0.3;
-}
+inline double scale() { return BenchSpec::env().effective_scale(0.3); }
 
 inline void header(const char* experiment, const char* claim) {
   std::printf("================================================================\n");
@@ -97,8 +92,9 @@ inline void section(const char* title) {
 /// directory warns instead of killing a bench run whose printout already
 /// happened.
 inline void write_artifact(const study::ResultTable& table) {
-  const char* dir = std::getenv("VARBENCH_OUT");
-  if (dir == nullptr || *dir == '\0') return;
+  const std::string& dir_str = BenchSpec::env().out_dir;
+  if (dir_str.empty()) return;
+  const char* dir = dir_str.c_str();
   std::string name = table.name;
   for (char& c : name) {
     if (c == ':' || c == '/') c = '-';
@@ -125,22 +121,24 @@ inline int run_figure_bench(study::StudyKind kind) {
     return 1;
   }
   try {
+    // All knobs come from the one BenchSpec parse (bench/bench_spec.h) —
+    // bench binaries never re-read getenv mid-run, and `varbench bench`
+    // can drive the same path from flags.
+    const BenchSpec& knobs = BenchSpec::env();
     study::StudySpec spec = study::figures::default_figure_spec(kind);
-    if (env_flag("VARBENCH_FULL")) {
+    if (knobs.full) {
       if (def->full != nullptr) def->full(spec);
       spec.scale = 1.0;
-    } else {
-      const double s = env_double("VARBENCH_SCALE", 0.0);
-      if (s > 0.0 && s <= 1.0) spec.scale = s;
+    } else if (knobs.scale.has_value() && *knobs.scale > 0.0 &&
+               *knobs.scale <= 1.0) {
+      spec.scale = *knobs.scale;
     }
-    if (!def->fixed_repetitions) {
-      spec.repetitions = env_size("VARBENCH_REPS", spec.repetitions);
+    if (!def->fixed_repetitions && knobs.reps.has_value()) {
+      spec.repetitions = *knobs.reps;
     }
-    spec.seed = env_u64("VARBENCH_SEED", spec.seed);
-    spec.threads = env_size("VARBENCH_THREADS", 0);
-    if (const char* shard = std::getenv("VARBENCH_SHARD")) {
-      if (*shard != '\0') spec.shard = study::ShardSpec::parse(shard);
-    }
+    if (knobs.seed.has_value()) spec.seed = *knobs.seed;
+    spec.threads = knobs.threads;
+    if (knobs.shard.has_value()) spec.shard = *knobs.shard;
     std::printf(
         "================================================================\n"
         "%s\n  paper claim: %s\n"

@@ -10,6 +10,7 @@
 #include "src/campaign/work_queue.h"
 #include "src/io/columnar/vbt.h"
 #include "src/io/json.h"
+#include "src/metrics/metrics.h"
 #include "src/study/result_table.h"
 #include "src/study/study_runner.h"
 
@@ -59,7 +60,8 @@ std::string_view to_string(TaskState::Status s) {
 
 void write_manifest(const WorkQueue& queue, const CampaignConfig& cfg,
                     const std::vector<study::StudySpec>& studies,
-                    const std::vector<TaskState>& states) {
+                    const std::vector<TaskState>& states,
+                    const metrics::Sink* sink = nullptr) {
   io::Json doc = io::Json::object();
   doc.set("schema", io::Json{kManifestSchema});
   doc.set("shards", io::Json{cfg.shards});
@@ -79,6 +81,28 @@ void write_manifest(const WorkQueue& queue, const CampaignConfig& cfg,
     tasks.push_back(std::move(t));
   }
   doc.set("tasks", std::move(tasks));
+  // Coordinator metrics ride along as provenance (identity lives in the
+  // artifacts, not here): merged deterministically from the sink's
+  // shards, written only when something was enabled.
+  if (sink != nullptr && sink->any_enabled()) {
+    const metrics::Snapshot snap = sink->snapshot();
+    io::Json block = io::Json::object();
+    for (const metrics::MetricSnapshot& m : snap.metrics) {
+      const metrics::MetricDef& def = metrics::metric_defs()[m.id];
+      if (def.subsystem != "campaign") continue;
+      io::Json entry = io::Json::object();
+      entry.set("count", io::Json{m.count});
+      entry.set("sum", io::Json{m.sum});
+      entry.set("mean", io::Json{m.mean()});
+      if (def.kind != metrics::MetricKind::kCounter) {
+        entry.set("p50", io::Json{m.percentile_upper(0.50)});
+        entry.set("p90", io::Json{m.percentile_upper(0.90)});
+        entry.set("p99", io::Json{m.percentile_upper(0.99)});
+      }
+      block.set(def.name, std::move(entry));
+    }
+    if (!block.as_object().empty()) doc.set("metrics", std::move(block));
+  }
   WorkQueue::atomic_write(queue.manifest_path(), doc.dump(2) + "\n");
 }
 
@@ -217,6 +241,8 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
   const bool binary = cfg.format == study::ArtifactFormat::kBinary;
   const std::string ext = binary ? ".vbt" : ".json";
   WorkQueue queue{cfg.dir, ext};
+  metrics::Sink& sink =
+      cfg.metrics != nullptr ? *cfg.metrics : metrics::global_sink();
   auto tasks = plan_tasks(studies, cfg.shards);
 
   CampaignReport report;
@@ -285,7 +311,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
       queue.enqueue(Ticket{id, 0, ""});
     }
   }
-  write_manifest(queue, cfg, studies, states);
+  write_manifest(queue, cfg, studies, states, &sink);
 
   // Per-study incremental merge: fires the moment a study's last shard
   // lands (while other studies may still be running), and regenerates a
@@ -344,6 +370,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
     std::size_t state_index;
     std::unique_ptr<WorkerHandle> handle;
     std::chrono::steady_clock::time_point started;
+    std::chrono::steady_clock::time_point last_beat;
   };
   std::vector<Active> active;
 
@@ -381,6 +408,20 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
           }
         } else {
           queue.heartbeat(it->ticket);
+          // Beat-to-beat period vs poll_interval: scheduling jitter of the
+          // reap loop (autoscaling signal, ROADMAP item 2).
+          if (sink.is_enabled(metrics::kCampaignHeartbeatJitterNs)) {
+            const auto beat = std::chrono::steady_clock::now();
+            const auto period = std::chrono::duration_cast<
+                std::chrono::nanoseconds>(beat - it->last_beat);
+            const auto target = std::chrono::duration_cast<
+                std::chrono::nanoseconds>(cfg.poll_interval);
+            const auto jitter_ns = period > target ? period - target
+                                                   : target - period;
+            sink.observe(metrics::kCampaignHeartbeatJitterNs,
+                         static_cast<std::uint64_t>(jitter_ns.count()));
+            it->last_beat = beat;
+          }
           ++it;
           continue;
         }
@@ -431,6 +472,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
         if (used < 1 + cfg.max_retries) {
           queue.release_for_retry(it->ticket, used);
           ++report.retried;
+          sink.add(metrics::kCampaignTaskRetries);
           event(cfg, "task %s: attempt %zu failed (%s; log: %s) — retrying",
                 id.c_str(), used, err.c_str(), queue.log_path(id).c_str());
         } else {
@@ -444,7 +486,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
                 used, err.c_str());
         }
       }
-      write_manifest(queue, cfg, studies, states);
+      write_manifest(queue, cfg, studies, states, &sink);
       it = active.erase(it);
     }
 
@@ -473,7 +515,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
         st.status = TaskState::Status::kDone;
         progressed = true;
         event(cfg, "task %s: completed externally", id.c_str());
-        write_manifest(queue, cfg, studies, states);
+        write_manifest(queue, cfg, studies, states, &sink);
         maybe_merge_study(st.task.study_index);
       }
     }
@@ -492,15 +534,23 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
       st.attempts = ticket->attempts + 1;
       std::error_code ec;
       fs::remove(queue.partial_artifact_path(st.task.id), ec);
+      const auto claimed_at = std::chrono::steady_clock::now();
       auto handle = launcher(st.task, queue.spec_path(st.task.id),
                              queue.partial_artifact_path(st.task.id),
                              queue.log_path(st.task.id));
       ++report.launched;
+      sink.add(metrics::kCampaignTasksLaunched);
+      const auto launched_at = std::chrono::steady_clock::now();
+      sink.observe_lazy(metrics::kCampaignClaimToStartNs, [&] {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   launched_at - claimed_at)
+            .count();
+      });
       progressed = true;
       event(cfg, "task %s: launched (attempt %zu)", st.task.id.c_str(),
             st.attempts);
-      active.push_back(Active{*ticket, idx, std::move(handle),
-                              std::chrono::steady_clock::now()});
+      active.push_back(Active{*ticket, idx, std::move(handle), launched_at,
+                              launched_at});
     }
 
     // 5. Nothing running and nothing claimable: remaining tasks must be
@@ -521,7 +571,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
           report.failures.push_back("task " + st.task.id +
                                     ": vanished from the work queue");
         }
-        write_manifest(queue, cfg, studies, states);
+        write_manifest(queue, cfg, studies, states, &sink);
         break;
       }
     }
@@ -536,7 +586,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
   for (const auto& st : states) {
     if (st.status == TaskState::Status::kDone) ++report.completed;
   }
-  write_manifest(queue, cfg, studies, states);
+  write_manifest(queue, cfg, studies, states, &sink);
   event(cfg,
         "campaign: %zu/%zu task(s) done (launched %zu worker(s), reused %zu "
         "artifact(s), retried %zu, reclaimed %zu stale claim(s)); state: %s",

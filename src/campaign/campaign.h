@@ -22,6 +22,10 @@
 #include "src/study/result_table.h"
 #include "src/study/study_spec.h"
 
+namespace varbench::metrics {
+class Sink;
+}  // namespace varbench::metrics
+
 namespace varbench::campaign {
 
 /// One schedulable unit: study `study_index` restricted to `spec.shard`.
@@ -70,6 +74,12 @@ struct CampaignConfig {
   /// was run with is fine: valid shards of either format are reused, and
   /// merge reads mixed .json/.vbt sets.
   study::ArtifactFormat format = study::ArtifactFormat::kJson;
+  /// Optional metrics sink (docs/metrics.md): claim-to-start latency,
+  /// retry counts, heartbeat jitter. nullptr resolves to
+  /// metrics::global_sink(). When any campaign metric is enabled, the
+  /// merged totals are emitted into campaign.json as a "metrics"
+  /// provenance block next to the per-task wall_time_ms.
+  metrics::Sink* metrics = nullptr;
 };
 
 struct CampaignReport {

@@ -10,12 +10,27 @@
 #include <cstddef>
 #include <thread>
 
+#include "src/metrics/metrics.h"
+
 namespace varbench::exec {
 
 struct ExecContext {
   /// 0 → use std::thread::hardware_concurrency(); 1 → run inline (serial);
   /// N → up to N OS threads per parallel region.
   std::size_t num_threads = 1;
+
+  /// Optional metrics sink (docs/metrics.md). nullptr — the default, so
+  /// every existing `ExecContext{n}` call site is source-compatible —
+  /// resolves to the process-wide metrics::global_sink(), which is all-
+  /// disabled unless a CLI flag or test enabled it. Metrics are pure
+  /// provenance: enabling them never changes result bytes
+  /// (docs/determinism.md).
+  metrics::Sink* metrics = nullptr;
+
+  /// The sink instrumented code records into (never null).
+  [[nodiscard]] metrics::Sink& sink() const {
+    return metrics != nullptr ? *metrics : metrics::global_sink();
+  }
 
   /// The actual worker count to schedule with (never 0).
   [[nodiscard]] std::size_t resolved_threads() const {

@@ -9,12 +9,17 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
+#include <functional>
 #include <latch>
 #include <mutex>
+#include <vector>
 
 #include "src/exec/exec_context.h"
 #include "src/exec/thread_pool.h"
+#include "src/metrics/metrics.h"
+#include "src/metrics/stopwatch.h"
 
 namespace varbench::exec {
 
@@ -42,7 +47,18 @@ void parallel_for(const ExecContext& ctx, std::size_t begin, std::size_t end,
   if (threads > n) threads = n;
   if (detail::t_in_parallel_region) threads = 1;
 
+  // Instrumentation (docs/metrics.md): every call below is a no-op branch
+  // unless the metric was enabled on this context's sink, and nothing
+  // recorded here can reach artifact bytes — metrics are provenance only.
+  metrics::Sink& sink = ctx.sink();
+  sink.add(metrics::kExecRegions);
+  sink.observe(metrics::kExecRegionThreads, threads);
+
   if (threads <= 1) {
+    // An inline region is one chunk spanning the whole range.
+    sink.add(metrics::kExecChunks);
+    sink.observe(metrics::kExecChunkSize, n);
+    const metrics::ScopedTimer chunk_timer{sink, metrics::kExecChunkRunNs};
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -63,7 +79,10 @@ void parallel_for(const ExecContext& ctx, std::size_t begin, std::size_t end,
       if (c >= num_chunks) break;
       const std::size_t lo = begin + c * grain;
       const std::size_t hi = std::min(end, lo + grain);
+      sink.add(metrics::kExecChunks);
+      sink.observe(metrics::kExecChunkSize, hi - lo);
       try {
+        const metrics::ScopedTimer chunk_timer{sink, metrics::kExecChunkRunNs};
         for (std::size_t i = lo; i < hi; ++i) body(i);
       } catch (...) {
         {
@@ -79,13 +98,31 @@ void parallel_for(const ExecContext& ctx, std::size_t begin, std::size_t end,
   const std::size_t helpers = threads - 1;  // the caller participates too
   ThreadPool& pool = ThreadPool::global();
   pool.ensure_workers(helpers);
+  sink.add(metrics::kExecTasksSubmitted, helpers);
   std::latch done{static_cast<std::ptrdiff_t>(helpers)};
+  // One batched enqueue: a single lock acquisition + wakeup for the whole
+  // helper fan-out (see ThreadPool::submit_many). Queue-wait timestamps
+  // are captured at submit time only when the metric is live.
+  const bool time_queue_wait = sink.is_enabled(metrics::kExecQueueWaitNs);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(helpers);
   for (std::size_t t = 0; t < helpers; ++t) {
-    pool.submit([&] {
-      drain();
-      done.count_down();
-    });
+    if (time_queue_wait) {
+      const std::uint64_t submitted_ns = metrics::monotonic_ns();
+      tasks.push_back([&, submitted_ns] {
+        sink.observe(metrics::kExecQueueWaitNs,
+                     metrics::monotonic_ns() - submitted_ns);
+        drain();
+        done.count_down();
+      });
+    } else {
+      tasks.push_back([&] {
+        drain();
+        done.count_down();
+      });
+    }
   }
+  pool.submit_many(std::move(tasks));
   drain();
   done.wait();
   if (first_error) std::rethrow_exception(first_error);

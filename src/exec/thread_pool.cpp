@@ -42,6 +42,22 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+void ThreadPool::submit_many(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  const std::size_t n = tasks.size();
+  {
+    const std::lock_guard<std::mutex> lock{mu_};
+    for (auto& task : tasks) {
+      queue_.push_back(std::move(task));
+    }
+  }
+  if (n == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

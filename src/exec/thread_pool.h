@@ -34,6 +34,14 @@ class ThreadPool {
   /// (the pool has no work stealing); parallel_for's tasks never do.
   void submit(std::function<void()> task);
 
+  /// Enqueue a batch under ONE lock acquisition, moving every task in,
+  /// and wake up to `tasks.size()` workers. parallel_for uses this for
+  /// its helper fan-out: the per-task lock/notify cost of repeated
+  /// submit() was the dominant term in the exec.queue_wait_ns histogram
+  /// under contention (see bench/BENCH_exec.json, exec.pool_submit vs
+  /// exec.pool_submit_batched).
+  void submit_many(std::vector<std::function<void()>> tasks);
+
  private:
   void worker_loop();
 

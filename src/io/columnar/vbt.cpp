@@ -4,6 +4,8 @@
 #include <cstring>
 #include <map>
 
+#include "src/metrics/metrics.h"
+#include "src/metrics/stopwatch.h"
 #include "src/study/result_table.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -547,6 +549,11 @@ std::shared_ptr<const MappedTable> MappedTable::open(const std::string& path) {
     }
   }
 
+  // Load-path telemetry only (docs/metrics.md): never feeds artifact
+  // bytes. The global sink is the right scope — artifact loads happen on
+  // paths (report, merge) with no ExecContext in reach.
+  metrics::global_sink().add(metrics::kIoTablesMapped);
+  metrics::global_sink().add(metrics::kIoBytesMapped, t->size_);
   return t;
 }
 
@@ -654,6 +661,8 @@ Json MappedTable::cell(std::size_t row, std::size_t ci) const {
 // ----------------------------------------------------------- materialize
 
 study::ResultTable materialize(std::shared_ptr<const MappedTable> mapped) {
+  const metrics::ScopedTimer materialize_timer{metrics::global_sink(),
+                                               metrics::kIoMaterializeNs};
   // Metadata rides the exact JSON document to_json writes (minus "rows"),
   // so the JSON reader's validation — schema, spec round-trip, shard
   // sanity — applies unchanged; the rows are then decoded column-wise.

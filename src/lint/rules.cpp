@@ -96,7 +96,9 @@ void check_no_raw_random(const FileCtx& f, std::vector<Finding>& out) {
 
 /// no-wallclock: a wall-clock read anywhere near an artifact path makes
 /// output depend on when it ran. Timing belongs to the campaign
-/// heartbeat/provenance layer (src/campaign/) and to bench/ harnesses.
+/// heartbeat/provenance layer (src/campaign/), the metrics timers
+/// (src/metrics/ — the ScopedTimer/Stopwatch helpers every instrumented
+/// subsystem goes through, docs/metrics.md), and bench/ harnesses.
 void check_no_wallclock(const FileCtx& f, std::vector<Finding>& out) {
   const Tokens& t = f.code;
   for (std::size_t i = 0; i < t.size(); ++i) {
@@ -107,7 +109,7 @@ void check_no_wallclock(const FileCtx& f, std::vector<Finding>& out) {
       add(out, kNoWallclock, t[i].line,
           "wall-clock read '" + s +
               "' outside the provenance/heartbeat whitelist "
-              "(src/campaign/, bench/)");
+              "(src/metrics/, src/campaign/, bench/)");
       continue;
     }
     if (any_of(s, {"time", "clock"}) && is_punct(t, i + 1, "(") &&
@@ -115,7 +117,7 @@ void check_no_wallclock(const FileCtx& f, std::vector<Finding>& out) {
       add(out, kNoWallclock, t[i].line,
           "wall-clock read '" + s +
               "()' outside the provenance/heartbeat whitelist "
-              "(src/campaign/, bench/)");
+              "(src/metrics/, src/campaign/, bench/)");
       continue;
     }
     if (s == "now" && i > 0 && is_punct(t, i - 1, "::")) {
@@ -123,7 +125,7 @@ void check_no_wallclock(const FileCtx& f, std::vector<Finding>& out) {
       add(out, kNoWallclock, t[i].line,
           "wall-clock read '" + qualifier +
               "::now()' outside the provenance/heartbeat whitelist "
-              "(src/campaign/, bench/)");
+              "(src/metrics/, src/campaign/, bench/)");
     }
   }
 }
@@ -310,7 +312,7 @@ const std::vector<Rule>& rules() {
         "bans time()/clock_gettime/chrono ::now() so artifact bytes cannot "
         "depend on when they were produced",
         {},
-        {"src/campaign/", "bench/"},
+        {"src/metrics/", "src/campaign/", "bench/"},
         false},
        &check_no_wallclock},
       {{std::string{kNoRawThread},

@@ -1,0 +1,114 @@
+#include "src/metrics/gate.h"
+
+#include <cmath>
+#include <exception>
+#include <filesystem>
+#include <vector>
+
+#include "src/metrics/microbench.h"
+#include "src/metrics/trajectory.h"
+#include "src/version.h"
+
+namespace varbench::metrics {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+TrajectoryRow to_row(const MicrobenchResult& r, const GateOptions& opts) {
+  TrajectoryRow row;
+  row.bench = r.bench;
+  row.unit = r.unit;
+  row.min_ns = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(r.min_ns) * opts.inject_slowdown));
+  row.repeats = r.repeats;
+  row.version = std::string{kVersion};
+  row.label = opts.label;
+  return row;
+}
+
+/// Gate + append one trajectory file. Returns true when any row regressed.
+bool process_file(const std::string& path,
+                  const std::vector<MicrobenchResult>& results,
+                  const GateOptions& opts, std::FILE* out) {
+  std::vector<TrajectoryRow> fresh;
+  fresh.reserve(results.size());
+  for (const MicrobenchResult& r : results) fresh.push_back(to_row(r, opts));
+
+  Trajectory trajectory = Trajectory::load(path);
+  const std::vector<GateCheck> checks =
+      gate_checks(trajectory, fresh, opts.threshold);
+
+  bool regressed = false;
+  for (const GateCheck& c : checks) {
+    const char* status = c.regressed ? "REGRESSED" : (c.best_ns == 0 ? "new" : "ok");
+    regressed = regressed || c.regressed;
+    std::fprintf(out, "| %s | %s | %llu | %llu | %.2f | %s |\n",
+                 c.row.bench.c_str(), c.row.unit.c_str(),
+                 static_cast<unsigned long long>(c.row.min_ns),
+                 static_cast<unsigned long long>(c.best_ns), c.ratio, status);
+  }
+
+  if (opts.append) {
+    for (const TrajectoryRow& row : fresh) trajectory.append(row);
+    trajectory.save(path);
+    std::fprintf(out, "\nrecorded %zu row(s) in %s\n\n", fresh.size(),
+                 path.c_str());
+  }
+  return regressed;
+}
+
+}  // namespace
+
+int run_bench_gate(const GateOptions& opts, std::FILE* out) {
+  MicrobenchOptions mopts;
+  mopts.repeats = opts.repeats;
+  mopts.scale = opts.scale;
+  mopts.threads = opts.threads;
+  const std::string scratch = opts.scratch_dir.empty()
+                                  ? fs::temp_directory_path().string()
+                                  : opts.scratch_dir;
+
+  std::fprintf(out,
+               "## varbench bench — perf trajectory (min of %zu, threshold "
+               "%.2fx vs best)\n\n",
+               opts.repeats, opts.threshold);
+  if (opts.inject_slowdown != 1.0) {
+    std::fprintf(out, "injected slowdown: %.2fx (gate self-test)\n\n",
+                 opts.inject_slowdown);
+  }
+  std::fprintf(out, "| bench | unit | min_ns | best_ns | ratio | status |\n");
+  std::fprintf(out, "|---|---|---|---|---|---|\n");
+
+  bool regressed = false;
+  try {
+    const std::vector<MicrobenchResult> exec_results =
+        run_exec_microbenches(mopts);
+    const std::vector<MicrobenchResult> campaign_results =
+        run_campaign_microbenches(mopts, scratch);
+    regressed |= process_file(
+        (fs::path{opts.bench_dir} / "BENCH_exec.json").string(), exec_results,
+        opts, out);
+    regressed |= process_file(
+        (fs::path{opts.bench_dir} / "BENCH_campaign.json").string(),
+        campaign_results, opts, out);
+    std::fprintf(out, "exec metrics overhead: %+.2f%% (budget: <= 1%% with "
+                      "metrics disabled; the pair above is metrics on vs off)\n",
+                 exec_metrics_overhead_percent(exec_results));
+  } catch (const std::exception& e) {
+    std::fprintf(out, "\nbench gate error: %s\n", e.what());
+    return 1;
+  }
+
+  if (regressed) {
+    std::fprintf(out,
+                 "\nGATE: regression beyond %.2fx noise band — investigate or "
+                 "re-record the trajectory\n",
+                 opts.threshold);
+    return opts.gate ? 1 : 0;
+  }
+  std::fprintf(out, "gate: all benches within the noise band\n");
+  return 0;
+}
+
+}  // namespace varbench::metrics

@@ -1,0 +1,188 @@
+#include "src/metrics/microbench.h"
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+
+#include "src/campaign/subprocess.h"
+#include "src/campaign/work_queue.h"
+#include "src/exec/parallel_for.h"
+#include "src/exec/thread_pool.h"
+#include "src/metrics/metrics.h"
+#include "src/metrics/stopwatch.h"
+
+namespace varbench::metrics {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::size_t scaled(double scale, std::size_t base) {
+  if (scale <= 0.0) {
+    throw std::invalid_argument{"microbench: scale must be > 0"};
+  }
+  const auto n = static_cast<std::size_t>(std::llround(scale * static_cast<double>(base)));
+  return n > 0 ? n : 1;
+}
+
+/// min-of-N wrapper: run `body()` `repeats` times, keep the fastest.
+template <typename Body>
+MicrobenchResult min_of(const std::string& bench, const std::string& unit,
+                        std::size_t repeats, Body&& body) {
+  MicrobenchResult r;
+  r.bench = bench;
+  r.unit = unit;
+  r.repeats = repeats > 0 ? repeats : 1;
+  for (std::uint64_t i = 0; i < r.repeats; ++i) {
+    const std::uint64_t ns = body();
+    if (i == 0 || ns < r.min_ns) r.min_ns = ns;
+  }
+  return r;
+}
+
+/// The parallel_for workload: a cheap but unelidable per-index transform.
+/// Writing into `out` keeps the loop honest under -O2 without making the
+/// bench memory-bound.
+std::uint64_t time_parallel_for(const exec::ExecContext& ctx, std::size_t n,
+                                std::vector<double>& out) {
+  const Stopwatch sw;
+  exec::parallel_for(ctx, 0, n, [&](std::size_t i) {
+    const double x = static_cast<double>(i % 1024) * 1e-3;
+    out[i] = x * x + 0.5 * x + 1.0;
+  });
+  return sw.elapsed_ns();
+}
+
+}  // namespace
+
+std::vector<MicrobenchResult> run_exec_microbenches(
+    const MicrobenchOptions& opts) {
+  std::vector<MicrobenchResult> results;
+  const std::size_t n = scaled(opts.scale, 200'000);
+  const exec::ExecContext plain{opts.threads};
+  std::vector<double> out(n, 0.0);
+
+  // Untimed warmup: spin the global pool up and fault `out` in, so the
+  // first timed row does not absorb one-time costs the later rows skip.
+  (void)time_parallel_for(plain, n, out);
+
+  results.push_back(min_of("exec.parallel_for", "ns", opts.repeats, [&] {
+    return time_parallel_for(plain, n, out);
+  }));
+
+  // Same workload with every exec metric live on a local sink: the
+  // difference against the row above is the measured overhead model.
+  Sink sink;
+  enable_selection(sink, "exec");
+  exec::ExecContext instrumented{opts.threads};
+  instrumented.metrics = &sink;
+  results.push_back(
+      min_of("exec.parallel_for_metrics", "ns", opts.repeats, [&] {
+        return time_parallel_for(instrumented, n, out);
+      }));
+
+  // Pool submit path, one task at a time vs one batched enqueue. A local
+  // two-worker pool keeps the global pool's size untouched.
+  const std::size_t tasks = scaled(opts.scale, 2'000);
+  results.push_back(
+      min_of("exec.pool_submit", "ns/task", opts.repeats, [&] {
+        exec::ThreadPool pool{2};
+        std::atomic<std::size_t> done{0};
+        const Stopwatch sw;
+        for (std::size_t i = 0; i < tasks; ++i) {
+          pool.submit([&done] {
+            done.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+        while (done.load(std::memory_order_relaxed) < tasks) {
+          std::this_thread::yield();
+        }
+        return sw.elapsed_ns() / tasks;
+      }));
+
+  results.push_back(
+      min_of("exec.pool_submit_batched", "ns/task", opts.repeats, [&] {
+        exec::ThreadPool pool{2};
+        std::atomic<std::size_t> done{0};
+        std::vector<std::function<void()>> batch;
+        batch.reserve(tasks);
+        for (std::size_t i = 0; i < tasks; ++i) {
+          batch.push_back(
+              [&done] { done.fetch_add(1, std::memory_order_relaxed); });
+        }
+        const Stopwatch sw;
+        pool.submit_many(std::move(batch));
+        while (done.load(std::memory_order_relaxed) < tasks) {
+          std::this_thread::yield();
+        }
+        return sw.elapsed_ns() / tasks;
+      }));
+
+  return results;
+}
+
+std::vector<MicrobenchResult> run_campaign_microbenches(
+    const MicrobenchOptions& opts, const std::string& scratch_dir) {
+  std::vector<MicrobenchResult> results;
+  const std::size_t tickets = scaled(opts.scale, 64);
+  const fs::path dir =
+      fs::path{scratch_dir} /
+      ("varbench-bench-q" + std::to_string(campaign::current_process_id()));
+
+  results.push_back(
+      min_of("campaign.ticket_cycle", "ns/ticket", opts.repeats, [&] {
+        fs::remove_all(dir);
+        campaign::WorkQueue queue{dir.string()};
+        const Stopwatch sw;
+        for (std::size_t i = 0; i < tickets; ++i) {
+          queue.enqueue(campaign::Ticket{"t" + std::to_string(i), 0, ""});
+        }
+        for (std::size_t i = 0; i < tickets; ++i) {
+          auto ticket = queue.try_claim("bench");
+          if (!ticket.has_value()) {
+            throw std::runtime_error{"microbench: work queue lost a ticket"};
+          }
+          queue.complete(*ticket);
+        }
+        return sw.elapsed_ns() / tickets;
+      }));
+
+  results.push_back(
+      min_of("campaign.heartbeat", "ns/beat", opts.repeats, [&] {
+        fs::remove_all(dir);
+        campaign::WorkQueue queue{dir.string()};
+        queue.enqueue(campaign::Ticket{"hb", 0, ""});
+        auto ticket = queue.try_claim("bench");
+        if (!ticket.has_value()) {
+          throw std::runtime_error{"microbench: work queue lost a ticket"};
+        }
+        const std::size_t beats = tickets * 4;  // mtime touches are fast —
+                                                // average more of them
+        const Stopwatch sw;
+        for (std::size_t i = 0; i < beats; ++i) queue.heartbeat(*ticket);
+        const std::uint64_t ns = sw.elapsed_ns() / beats;
+        queue.complete(*ticket);
+        return ns;
+      }));
+
+  fs::remove_all(dir);
+  return results;
+}
+
+double exec_metrics_overhead_percent(
+    const std::vector<MicrobenchResult>& results) {
+  const MicrobenchResult* off = nullptr;
+  const MicrobenchResult* on = nullptr;
+  for (const MicrobenchResult& r : results) {
+    if (r.bench == "exec.parallel_for") off = &r;
+    if (r.bench == "exec.parallel_for_metrics") on = &r;
+  }
+  if (off == nullptr || on == nullptr || off->min_ns == 0) return 0.0;
+  return 100.0 *
+         (static_cast<double>(on->min_ns) - static_cast<double>(off->min_ns)) /
+         static_cast<double>(off->min_ns);
+}
+
+}  // namespace varbench::metrics

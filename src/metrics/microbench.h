@@ -1,0 +1,48 @@
+// The instrumented microbench suite behind `varbench bench` and
+// tools/bench_gate: short, deterministic workloads over the hot layers
+// (exec fan-out, pool submit, campaign work-queue ops) timed min-of-N —
+// the minimum over repeats strips scheduler noise, which is what the
+// perf-trajectory gate (src/metrics/trajectory.h) compares across runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace varbench::metrics {
+
+struct MicrobenchOptions {
+  std::size_t repeats = 5;  // min-of-N
+  double scale = 1.0;       // work multiplier in (0, ...]
+  std::size_t threads = 0;  // exec fan-out width; 0 = all hardware threads
+};
+
+struct MicrobenchResult {
+  std::string bench;  // trajectory row name, e.g. "exec.parallel_for"
+  std::string unit;   // what min_ns measures ("ns", "ns/task", ...)
+  std::uint64_t min_ns = 0;
+  std::uint64_t repeats = 0;
+};
+
+/// exec.parallel_for (metrics off), exec.parallel_for_metrics (same
+/// workload, exec metrics enabled on a local sink — the pair is the
+/// overhead model of docs/metrics.md), exec.pool_submit,
+/// exec.pool_submit_batched.
+[[nodiscard]] std::vector<MicrobenchResult> run_exec_microbenches(
+    const MicrobenchOptions& opts);
+
+/// campaign.ticket_cycle (enqueue → claim → complete per ticket) and
+/// campaign.heartbeat, on a throwaway work-queue directory under
+/// `scratch_dir` (removed afterwards).
+[[nodiscard]] std::vector<MicrobenchResult> run_campaign_microbenches(
+    const MicrobenchOptions& opts, const std::string& scratch_dir);
+
+/// Percent overhead of enabled exec metrics on the parallel_for workload:
+/// 100 * (t_on - t_off) / t_off, computed from fresh min-of-N runs. The
+/// acceptance budget is <= 1% with metrics DISABLED being the comparison
+/// default (a disabled metric is one predictable branch).
+[[nodiscard]] double exec_metrics_overhead_percent(
+    const std::vector<MicrobenchResult>& results);
+
+}  // namespace varbench::metrics

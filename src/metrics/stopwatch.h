@@ -1,0 +1,65 @@
+// Monotonic-clock helpers for the metrics layer. This header is the ONE
+// place instrumented subsystems get wall time from: varlint's
+// no-wallclock rule whitelists src/metrics/ (docs/static_analysis.md), so
+// callers elsewhere use ScopedTimer/Stopwatch instead of reading clocks —
+// and the enabled check happens BEFORE any clock read, keeping the
+// disabled path free of syscalls.
+//
+// Timings are provenance, never identity: nothing here may flow into
+// canonical_text() bytes (docs/determinism.md).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/metrics/metrics.h"
+
+namespace varbench::metrics {
+
+/// Nanoseconds on the monotonic clock. Only meaningful as a difference.
+[[nodiscard]] inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Manual start/stop timer for code that can't use RAII scoping.
+class Stopwatch {
+ public:
+  Stopwatch() : start_ns_(monotonic_ns()) {}
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return monotonic_ns() - start_ns_;
+  }
+
+  void restart() { start_ns_ = monotonic_ns(); }
+
+ private:
+  std::uint64_t start_ns_;
+};
+
+/// Records the scope's wall time into `sink` under `id` — but reads the
+/// clock only when the metric is enabled, so a disabled timer costs one
+/// branch in the constructor and one in the destructor.
+class ScopedTimer {
+ public:
+  ScopedTimer(Sink& sink, MetricId id)
+      : sink_(sink.is_enabled(id) ? &sink : nullptr),
+        id_(id),
+        start_ns_(sink_ != nullptr ? monotonic_ns() : 0) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->observe(id_, monotonic_ns() - start_ns_);
+  }
+
+ private:
+  Sink* sink_;
+  MetricId id_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace varbench::metrics

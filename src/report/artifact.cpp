@@ -62,8 +62,12 @@ CampaignProvenance read_campaign_provenance(const std::string& path) {
                         std::string{kCampaignSchemaV2} + "')");
   }
   if (schema == kCampaignSchemaV2) {
+    // "metrics" is the coordinator's provenance block (docs/metrics.md) —
+    // known to this reader, ignored for reporting (it describes the run,
+    // not the results).
     reject_unknown_manifest_fields(
-        doc, "$", {"schema", "shards", "max_retries", "studies", "tasks"});
+        doc, "$",
+        {"schema", "shards", "max_retries", "studies", "tasks", "metrics"});
     for (const io::Json& task : doc.at("tasks").as_array()) {
       reject_unknown_manifest_fields(
           task, "$.tasks[]",

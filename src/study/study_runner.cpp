@@ -548,10 +548,7 @@ std::string list_study_kinds_text() {
   return out;
 }
 
-std::string list_study_kinds_json() {
-  io::Json doc = io::Json::object();
-  doc.set("tool", "varbench");
-  doc.set("version", std::string{kVersion});
+io::Json study_kinds_json() {
   io::Json kinds = io::Json::array();
   for (const auto& info : registered_study_kinds()) {
     io::Json item = io::Json::object();
@@ -563,7 +560,14 @@ std::string list_study_kinds_json() {
     item.set("params", std::move(params));
     kinds.push_back(std::move(item));
   }
-  doc.set("kinds", std::move(kinds));
+  return kinds;
+}
+
+std::string list_study_kinds_json() {
+  io::Json doc = io::Json::object();
+  doc.set("tool", "varbench");
+  doc.set("version", std::string{kVersion});
+  doc.set("kinds", study_kinds_json());
   return doc.dump(2) + "\n";
 }
 

@@ -67,6 +67,12 @@ struct StudyKindInfo {
 /// The `varbench list` rendering of registered_study_kinds().
 [[nodiscard]] std::string list_study_kinds_text();
 
+/// registered_study_kinds() as a JSON array ([{name, title, shardable,
+/// params}]) — the payload the CLI wraps in its shared {"tool",
+/// "version"} introspection envelope (tools/varbench_cli.cpp), alongside
+/// `varbench metrics --list --json`'s registry payload.
+[[nodiscard]] io::Json study_kinds_json();
+
 /// The `varbench list --json` rendering: a deterministic document
 /// ({"tool", "version", "kinds": [{name, title, shardable, params}]})
 /// for tooling — same introspection convention as `varlint --list-rules

@@ -1,150 +1,374 @@
-#include "src/ml/metrics.h"
-
+// The metrics-layer contract (docs/metrics.md): dense stable ids with
+// collision-rejecting registration, a disabled path that allocates
+// nothing and calls nothing, integer log2 histogram goldens, shard merges
+// that are bit-identical at any thread count, metrics-as-provenance
+// (enabling metrics never changes study artifact bytes), the snapshot →
+// ResultTable → report bridge, and the perf-trajectory gate's regression
+// arithmetic.
 #include <gtest/gtest.h>
 
-namespace varbench::ml {
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/exec/exec_context.h"
+#include "src/exec/parallel_for.h"
+#include "src/metrics/metrics.h"
+#include "src/metrics/stopwatch.h"
+#include "src/metrics/table.h"
+#include "src/metrics/trajectory.h"
+#include "src/report/render.h"
+#include "src/report/summary.h"
+#include "src/study/result_table.h"
+#include "src/study/study_runner.h"
+#include "src/study/study_spec.h"
+
+namespace varbench::metrics {
 namespace {
 
-TEST(Metrics, PredictClasses) {
-  const math::Matrix logits{{0.1, 0.9, 0.0}, {2.0, 1.0, 0.5}};
-  const auto pred = predict_classes(logits);
-  EXPECT_DOUBLE_EQ(pred[0], 1.0);
-  EXPECT_DOUBLE_EQ(pred[1], 0.0);
+namespace fs = std::filesystem;
+
+fs::path temp_dir(const std::string& leaf) {
+  const fs::path dir = fs::temp_directory_path() / leaf;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
 }
 
-TEST(Metrics, Accuracy) {
-  const std::vector<double> pred{0.0, 1.0, 1.0, 0.0};
-  const std::vector<double> labels{0.0, 1.0, 0.0, 0.0};
-  EXPECT_DOUBLE_EQ(accuracy(pred, labels), 0.75);
+// ----------------------------------------------------------- registry
+
+TEST(MetricsRegistry, BuiltinIdsAreIndices) {
+  const auto& defs = metric_defs();
+  ASSERT_GE(defs.size(), static_cast<std::size_t>(kNumBuiltinMetrics));
+  EXPECT_EQ(metric_id("exec.parallel_regions"), kExecRegions);
+  EXPECT_EQ(metric_id("exec.queue_wait_ns"), kExecQueueWaitNs);
+  EXPECT_EQ(metric_id("campaign.claim_to_start_ns"), kCampaignClaimToStartNs);
+  EXPECT_EQ(metric_id("io.vbt_materialize_ns"), kIoMaterializeNs);
+  // Every def's name resolves back to its index — the id contract.
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    EXPECT_EQ(metric_id(defs[i].name), static_cast<MetricId>(i));
+  }
+  EXPECT_THROW((void)metric_id("exec.no_such_metric"), std::invalid_argument);
 }
 
-TEST(Metrics, AccuracyBadInputsThrow) {
-  const std::vector<double> a{0.0};
-  const std::vector<double> b{0.0, 1.0};
-  EXPECT_THROW((void)accuracy(a, b), std::invalid_argument);
+TEST(MetricsRegistry, RegisterMetricRejectsCollisions) {
+  MetricDef def;
+  def.name = "test.extension_metric";
+  def.subsystem = "test";
+  def.unit = "count";
+  def.kind = MetricKind::kCounter;
+  const MetricId id = register_metric(def);
+  EXPECT_EQ(id, static_cast<MetricId>(num_metrics() - 1));
+  EXPECT_EQ(metric_id("test.extension_metric"), id);
+  // Same extension name again, and a builtin name: both ambiguous.
+  EXPECT_THROW(register_metric(def), std::invalid_argument);
+  MetricDef builtin_clash = def;
+  builtin_clash.name = "exec.chunks";
+  EXPECT_THROW(register_metric(builtin_clash), std::invalid_argument);
 }
 
-TEST(Metrics, MeanIouPerfect) {
-  const std::vector<double> pred{0.0, 1.0, 2.0};
-  EXPECT_DOUBLE_EQ(mean_iou(pred, pred, 3), 1.0);
+// ---------------------------------------------------- histogram geometry
+
+TEST(MetricsBins, Log2BinGoldens) {
+  // Bin 0 holds value 0; bin i>=1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(bin_index(0), 0u);
+  EXPECT_EQ(bin_index(1), 1u);
+  EXPECT_EQ(bin_index(2), 2u);
+  EXPECT_EQ(bin_index(3), 2u);
+  EXPECT_EQ(bin_index(4), 3u);
+  EXPECT_EQ(bin_index(1023), 10u);
+  EXPECT_EQ(bin_index(1024), 11u);
+  EXPECT_EQ(bin_index(std::uint64_t{1} << 40), 41u);
+  EXPECT_EQ(bin_index(~std::uint64_t{0}), kNumBins - 1);
+
+  EXPECT_EQ(bin_upper(0), 0u);
+  EXPECT_EQ(bin_upper(1), 1u);
+  EXPECT_EQ(bin_upper(2), 3u);
+  EXPECT_EQ(bin_upper(10), 1023u);
+  EXPECT_EQ(bin_upper(kNumBins - 1), ~std::uint64_t{0});
 }
 
-TEST(Metrics, MeanIouKnownValue) {
-  // class 0: TP=1, FP=1 (pred 0, label 1), FN=0 → IoU 1/2.
-  // class 1: TP=1, FP=0, FN=1 → IoU 1/2.
-  const std::vector<double> pred{0.0, 0.0, 1.0};
-  const std::vector<double> labels{0.0, 1.0, 1.0};
-  EXPECT_DOUBLE_EQ(mean_iou(pred, labels, 2), 0.5);
+TEST(MetricsBins, PercentileUpperGoldens) {
+  Sink sink;
+  sink.enable(kExecChunkSize);
+  for (const std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1},
+                                std::uint64_t{2}, std::uint64_t{3},
+                                std::uint64_t{4}, std::uint64_t{1023},
+                                std::uint64_t{1024}, std::uint64_t{1} << 40}) {
+    sink.observe(kExecChunkSize, v);
+  }
+  const Snapshot snap = sink.snapshot();
+  const MetricSnapshot* m = snap.find(kExecChunkSize);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 8u);
+  EXPECT_EQ(m->sum, 2057u + (std::uint64_t{1} << 40));
+  // Rank ceil(p * 8) walks the cumulative bins: 1,2,4,5,6,7,8.
+  EXPECT_EQ(m->percentile_upper(0.0), 0u);
+  EXPECT_EQ(m->percentile_upper(0.5), 3u);    // rank 4 → bin 2
+  EXPECT_EQ(m->percentile_upper(0.75), 1023u);  // rank 6 → bin 10
+  EXPECT_EQ(m->percentile_upper(0.9),
+            (std::uint64_t{1} << 41) - 1);  // rank 8 → bin 41
 }
 
-TEST(Metrics, MeanIouSkipsAbsentClasses) {
-  // Class 2 never appears → averaged over classes 0, 1 only.
-  const std::vector<double> pred{0.0, 1.0};
-  const std::vector<double> labels{0.0, 1.0};
-  EXPECT_DOUBLE_EQ(mean_iou(pred, labels, 3), 1.0);
+// ------------------------------------------------------- disabled path
+
+TEST(MetricsSink, DisabledPathAllocatesNothingAndDefersWork) {
+  Sink sink;  // all metrics disabled
+  bool lazy_called = false;
+  for (int i = 0; i < 1000; ++i) {
+    sink.add(kExecChunks);
+    sink.observe(kExecChunkSize, 17);
+    sink.observe_lazy(kExecQueueWaitNs, [&] {
+      lazy_called = true;
+      return std::uint64_t{1};
+    });
+    const ScopedTimer timer{sink, kExecChunkRunNs};
+  }
+  EXPECT_FALSE(lazy_called);
+  EXPECT_EQ(sink.allocated_shards(), 0u);  // no shard was ever touched
+  EXPECT_FALSE(sink.any_enabled());
+  EXPECT_TRUE(sink.snapshot().empty());
 }
 
-TEST(Metrics, MeanIouOutOfRangeThrows) {
-  const std::vector<double> pred{5.0};
-  const std::vector<double> labels{0.0};
-  EXPECT_THROW((void)mean_iou(pred, labels, 2), std::invalid_argument);
+TEST(MetricsSink, EnableSelectionBySubsystemNameAndAll) {
+  Sink sink;
+  enable_selection(sink, "exec");
+  for (MetricId id = 0; id < kNumBuiltinMetrics; ++id) {
+    EXPECT_EQ(sink.is_enabled(id), metric_defs()[id].subsystem == "exec");
+  }
+  enable_selection(sink, "none");
+  EXPECT_FALSE(sink.any_enabled());
+  enable_selection(sink, "io.vbt_bytes_mapped,campaign");
+  EXPECT_TRUE(sink.is_enabled(kIoBytesMapped));
+  EXPECT_FALSE(sink.is_enabled(kIoTablesMapped));
+  EXPECT_TRUE(sink.is_enabled(kCampaignTaskRetries));
+  enable_selection(sink, "all");
+  EXPECT_TRUE(sink.is_enabled(kExecChunks));
+  EXPECT_THROW(enable_selection(sink, "nonesuch"), std::invalid_argument);
 }
 
-TEST(Metrics, RocAucPerfectSeparation) {
-  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
-  const std::vector<double> targets{0.0, 0.0, 1.0, 1.0};
-  EXPECT_DOUBLE_EQ(roc_auc(scores, targets), 1.0);
+TEST(MetricsSink, CounterTotalsAndZeroCountEnabledMetrics) {
+  Sink sink;
+  sink.enable(kExecRegions);
+  sink.enable(kExecTasksSubmitted);  // enabled, never recorded
+  sink.add(kExecRegions);
+  sink.add(kExecRegions, 4);
+  const Snapshot snap = sink.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 2u);
+  // Fixed id order, zero-count entries included.
+  EXPECT_EQ(snap.metrics[0].id, static_cast<MetricId>(kExecRegions));
+  EXPECT_EQ(snap.metrics[0].count, 2u);
+  EXPECT_EQ(snap.metrics[0].sum, 5u);
+  EXPECT_EQ(snap.metrics[1].id, static_cast<MetricId>(kExecTasksSubmitted));
+  EXPECT_EQ(snap.metrics[1].count, 0u);
+
+  sink.reset();
+  const Snapshot after = sink.snapshot();
+  const MetricSnapshot* cleared = after.find(kExecRegions);
+  ASSERT_NE(cleared, nullptr);
+  EXPECT_EQ(cleared->count, 0u);
 }
 
-TEST(Metrics, RocAucReversedIsZero) {
-  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
-  const std::vector<double> targets{0.0, 0.0, 1.0, 1.0};
-  EXPECT_DOUBLE_EQ(roc_auc(scores, targets), 0.0);
+TEST(MetricsSink, ScopedTimerRecordsOnlyWhenEnabled) {
+  Sink sink;
+  sink.enable(kExecChunkRunNs);
+  {
+    const ScopedTimer timer{sink, kExecChunkRunNs};
+    volatile double acc = 0.0;
+    for (int i = 0; i < 10000; ++i) acc = acc + 1.0;
+  }
+  const Snapshot snap = sink.snapshot();
+  const MetricSnapshot* m = snap.find(kExecChunkRunNs);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 1u);
+  EXPECT_GT(m->sum, 0u);
 }
 
-TEST(Metrics, RocAucRandomIsHalf) {
-  // Equal scores → ties everywhere → AUC = 0.5.
-  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
-  const std::vector<double> targets{0.0, 1.0, 0.0, 1.0};
-  EXPECT_DOUBLE_EQ(roc_auc(scores, targets), 0.5);
+// ------------------------------------------------- deterministic merge
+
+TEST(MetricsSink, ShardMergeIsThreadCountInvariant) {
+  // Record a fixed multiset of observations from a parallel_for region at
+  // 1 / 2 / 8 threads. The merged snapshot must be bitwise identical:
+  // integer accumulators commute, so interleaving cannot matter. The
+  // recorded metric is one parallel_for does not itself touch, so only
+  // the test's own observations land in it.
+  constexpr std::size_t kN = 20'000;
+  std::array<MetricSnapshot, 3> merged;
+  const std::array<std::size_t, 3> thread_counts{1, 2, 8};
+  for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+    Sink sink;
+    sink.enable(kCampaignClaimToStartNs);
+    exec::ExecContext ctx{thread_counts[t]};
+    ctx.metrics = &sink;
+    exec::parallel_for(ctx, 0, kN, [&](std::size_t i) {
+      sink.observe(kCampaignClaimToStartNs, (i * i) % 4099);
+    });
+    const Snapshot snap = sink.snapshot();
+    const MetricSnapshot* m = snap.find(kCampaignClaimToStartNs);
+    ASSERT_NE(m, nullptr);
+    merged[t] = *m;
+  }
+  for (std::size_t t = 1; t < merged.size(); ++t) {
+    EXPECT_EQ(merged[t].count, merged[0].count);
+    EXPECT_EQ(merged[t].sum, merged[0].sum);
+    EXPECT_EQ(merged[t].bins, merged[0].bins);
+  }
 }
 
-TEST(Metrics, RocAucSingleClassIsHalf) {
-  const std::vector<double> scores{0.1, 0.9};
-  const std::vector<double> targets{1.0, 1.0};
-  EXPECT_DOUBLE_EQ(roc_auc(scores, targets), 0.5);
+TEST(MetricsSink, ParallelForInstrumentationCoversAllIndices) {
+  Sink sink;
+  enable_selection(sink, "exec");
+  exec::ExecContext ctx{4};
+  ctx.metrics = &sink;
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::uint8_t> hit(kN, 0);
+  exec::parallel_for(ctx, 0, kN, [&](std::size_t i) { hit[i] = 1; });
+  const Snapshot snap = sink.snapshot();
+  const MetricSnapshot* chunks = snap.find(kExecChunks);
+  const MetricSnapshot* sizes = snap.find(kExecChunkSize);
+  ASSERT_NE(chunks, nullptr);
+  ASSERT_NE(sizes, nullptr);
+  EXPECT_GT(chunks->count, 0u);
+  // Chunk sizes partition the index range exactly.
+  EXPECT_EQ(sizes->sum, kN);
+  for (const std::uint8_t h : hit) EXPECT_EQ(h, 1);
 }
 
-TEST(Metrics, RocAucRejectsNonBinary) {
-  const std::vector<double> scores{0.1, 0.9};
-  const std::vector<double> targets{0.0, 2.0};
-  EXPECT_THROW((void)roc_auc(scores, targets), std::invalid_argument);
+// -------------------------------------- metrics are provenance, not identity
+
+TEST(MetricsDeterminism, EnablingMetricsNeverChangesArtifactBytes) {
+  study::StudySpec spec;
+  spec.kind = study::StudyKind::kVariance;
+  spec.case_study = "cifar10_vgg11";
+  spec.scale = 0.08;
+  spec.seed = 20260808;
+  spec.repetitions = 3;
+  spec.variance.hpo_algorithms = {"random_search"};
+  spec.variance.hpo_repetitions = 2;
+  spec.variance.hpo_budget = 2;
+
+  global_sink().disable_all();
+  global_sink().reset();
+  const std::string off = run_study(spec).canonical_text();
+
+  global_sink().enable_all();
+  const std::string on = run_study(spec).canonical_text();
+  const Snapshot snap = global_sink().snapshot();
+  const MetricSnapshot* regions = snap.find(kExecRegions);
+  const bool recorded = regions != nullptr && regions->count > 0;
+  global_sink().disable_all();
+  global_sink().reset();
+
+  EXPECT_TRUE(recorded);  // the instrumented hot paths actually fired
+  EXPECT_EQ(off, on);     // ...and perturbed zero identity bytes
 }
 
-TEST(Metrics, RocAucKnownMixedValue) {
-  // scores: pos {3, 1}, neg {2}. Pairs: (3>2)=1, (1<2)=0 → AUC = 0.5.
-  const std::vector<double> scores{3.0, 1.0, 2.0};
-  const std::vector<double> targets{1.0, 1.0, 0.0};
-  EXPECT_DOUBLE_EQ(roc_auc(scores, targets), 0.5);
+// ------------------------------------------- snapshot → ResultTable → report
+
+TEST(MetricsTable, SnapshotRendersAsCanonicalResultTable) {
+  Sink sink;
+  sink.enable(kExecRegions);
+  sink.enable(kExecChunkSize);
+  sink.add(kExecRegions, 2);
+  for (std::uint64_t v = 1; v <= 64; ++v) sink.observe(kExecChunkSize, v);
+
+  const study::ResultTable table = to_result_table(sink.snapshot(), "metrics:test");
+  const std::vector<std::string> want_columns{
+      "seq",   "metric", "subsystem", "kind", "unit", "count",
+      "sum",   "mean",   "p50",       "p90",  "p99"};
+  EXPECT_EQ(table.columns, want_columns);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_TRUE(table.is_complete());
+
+  const fs::path dir = temp_dir("varbench-test-metrics-table");
+  const std::string path = (dir / "metrics.json").string();
+  table.save(path);
+  const study::ResultTable loaded = study::ResultTable::load(path);
+  EXPECT_EQ(loaded.canonical_text(), table.canonical_text());
+
+  // The stock report pipeline summarizes and renders it like any artifact.
+  const report::LoadedArtifact artifact = report::load_artifact(path);
+  report::ReportSpec rspec;
+  const report::Report rep =
+      report::summarize(exec::ExecContext{1}, artifact, rspec);
+  EXPECT_FALSE(rep.columns.empty());
+  const std::string text = report::render(rep, report::Format::kText);
+  EXPECT_NE(text.find("count"), std::string::npos);
+  fs::remove_all(dir);
 }
 
-TEST(Metrics, Binarize) {
-  const std::vector<double> v{0.2, 0.5, 0.7};
-  const auto b = binarize(v, 0.5);
-  EXPECT_EQ(b, (std::vector<double>{0.0, 0.0, 1.0}));
+// ------------------------------------------------------ trajectory + gate
+
+TEST(MetricsTrajectory, LoadAppendSaveRoundtrip) {
+  const fs::path dir = temp_dir("varbench-test-metrics-traj");
+  const std::string path = (dir / "BENCH_test.json").string();
+
+  Trajectory t = Trajectory::load(path);  // missing file = first run
+  EXPECT_TRUE(t.rows().empty());
+  EXPECT_EQ(t.best_ns("exec.parallel_for"), 0u);
+
+  TrajectoryRow row;
+  row.bench = "exec.parallel_for";
+  row.unit = "ns";
+  row.min_ns = 120'000;
+  row.repeats = 5;
+  row.version = "0.8.0";
+  row.label = "test";
+  t.append(row);
+  row.min_ns = 90'000;
+  t.append(row);
+  t.save(path);
+
+  const Trajectory back = Trajectory::load(path);
+  ASSERT_EQ(back.rows().size(), 2u);
+  EXPECT_EQ(back.rows()[0].min_ns, 120'000u);
+  EXPECT_EQ(back.rows()[1].label, "test");
+  EXPECT_EQ(back.best_ns("exec.parallel_for"), 90'000u);
+  fs::remove_all(dir);
 }
 
-TEST(Metrics, ToStringCoversAll) {
-  EXPECT_EQ(to_string(Metric::kAccuracy), "accuracy");
-  EXPECT_EQ(to_string(Metric::kMeanIoU), "mean_iou");
-  EXPECT_EQ(to_string(Metric::kAuc), "auc");
-  EXPECT_EQ(to_string(Metric::kPearson), "pearson");
-  EXPECT_EQ(to_string(Metric::kNegMse), "neg_mse");
-}
+TEST(MetricsTrajectory, GateFlagsOnlyRealRegressions) {
+  Trajectory prior;
+  TrajectoryRow base;
+  base.bench = "exec.parallel_for";
+  base.unit = "ns";
+  base.min_ns = 100'000;
+  base.repeats = 5;
+  prior.append(base);
 
-TEST(EvaluateModel, AccuracyPath) {
-  // A linear model that copies feature 0 vs feature 1 as logits.
-  MlpConfig cfg;
-  cfg.input_dim = 2;
-  cfg.output_dim = 2;
-  rngx::Rng rng{1};
-  Mlp m{cfg, rng};
-  m.weights()[0] = math::Matrix{{1.0, 0.0}, {0.0, 1.0}};
-  m.biases()[0] = {0.0, 0.0};
-  Dataset test;
-  test.kind = TaskKind::kClassification;
-  test.num_classes = 2;
-  test.x = math::Matrix{{1.0, 0.0}, {0.0, 1.0}, {2.0, 1.0}};
-  test.y = {0.0, 1.0, 1.0};  // last one is wrong for this model
-  EXPECT_NEAR(evaluate_model(m, test, Metric::kAccuracy), 2.0 / 3.0, 1e-12);
-}
+  const auto check_one = [&](std::uint64_t fresh_ns) {
+    TrajectoryRow fresh = base;
+    fresh.min_ns = fresh_ns;
+    const auto checks = gate_checks(prior, {fresh});
+    EXPECT_EQ(checks.size(), 1u);
+    return checks.at(0);
+  };
 
-TEST(EvaluateModel, NegMsePath) {
-  MlpConfig cfg;
-  cfg.input_dim = 1;
-  cfg.output_dim = 1;
-  rngx::Rng rng{2};
-  Mlp m{cfg, rng};
-  m.weights()[0] = math::Matrix{{1.0}};
-  m.biases()[0] = {0.0};
-  Dataset test;
-  test.kind = TaskKind::kRegression;
-  test.x = math::Matrix{{1.0}, {2.0}};
-  test.y = {1.0, 1.0};
-  // predictions {1, 2} vs targets {1, 1} → MSE = 0.5 → metric −0.5
-  EXPECT_NEAR(evaluate_model(m, test, Metric::kNegMse), -0.5, 1e-12);
-}
+  EXPECT_FALSE(check_one(100'000).regressed);  // flat
+  EXPECT_FALSE(check_one(140'000).regressed);  // inside the 1.5x band
+  EXPECT_TRUE(check_one(200'000).regressed);   // the injected-2x case
+  EXPECT_DOUBLE_EQ(check_one(200'000).ratio, 2.0);
 
-TEST(EvaluateModel, EmptyTestThrows) {
-  MlpConfig cfg;
-  cfg.input_dim = 1;
-  cfg.output_dim = 1;
-  rngx::Rng rng{3};
-  const Mlp m{cfg, rng};
-  const Dataset empty;
-  EXPECT_THROW((void)evaluate_model(m, empty, Metric::kAccuracy),
-               std::invalid_argument);
+  // Over threshold but under the absolute-noise floor: jitter, not a
+  // regression.
+  Trajectory tiny_prior;
+  TrajectoryRow tiny = base;
+  tiny.bench = "campaign.heartbeat";
+  tiny.min_ns = 2'000;
+  tiny_prior.append(tiny);
+  tiny.min_ns = 5'000;  // 2.5x, but only +3us
+  EXPECT_FALSE(gate_checks(tiny_prior, {tiny}).at(0).regressed);
+
+  // A brand-new bench has no history: recorded, never gated.
+  TrajectoryRow fresh_bench = base;
+  fresh_bench.bench = "exec.new_bench";
+  const auto novel = gate_checks(prior, {fresh_bench});
+  EXPECT_EQ(novel.at(0).best_ns, 0u);
+  EXPECT_FALSE(novel.at(0).regressed);
 }
 
 }  // namespace
-}  // namespace varbench::ml
+}  // namespace varbench::metrics

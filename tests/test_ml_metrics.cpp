@@ -1,0 +1,150 @@
+#include "src/ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace varbench::ml {
+namespace {
+
+TEST(Metrics, PredictClasses) {
+  const math::Matrix logits{{0.1, 0.9, 0.0}, {2.0, 1.0, 0.5}};
+  const auto pred = predict_classes(logits);
+  EXPECT_DOUBLE_EQ(pred[0], 1.0);
+  EXPECT_DOUBLE_EQ(pred[1], 0.0);
+}
+
+TEST(Metrics, Accuracy) {
+  const std::vector<double> pred{0.0, 1.0, 1.0, 0.0};
+  const std::vector<double> labels{0.0, 1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(accuracy(pred, labels), 0.75);
+}
+
+TEST(Metrics, AccuracyBadInputsThrow) {
+  const std::vector<double> a{0.0};
+  const std::vector<double> b{0.0, 1.0};
+  EXPECT_THROW((void)accuracy(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, MeanIouPerfect) {
+  const std::vector<double> pred{0.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(mean_iou(pred, pred, 3), 1.0);
+}
+
+TEST(Metrics, MeanIouKnownValue) {
+  // class 0: TP=1, FP=1 (pred 0, label 1), FN=0 → IoU 1/2.
+  // class 1: TP=1, FP=0, FN=1 → IoU 1/2.
+  const std::vector<double> pred{0.0, 0.0, 1.0};
+  const std::vector<double> labels{0.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(mean_iou(pred, labels, 2), 0.5);
+}
+
+TEST(Metrics, MeanIouSkipsAbsentClasses) {
+  // Class 2 never appears → averaged over classes 0, 1 only.
+  const std::vector<double> pred{0.0, 1.0};
+  const std::vector<double> labels{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(mean_iou(pred, labels, 3), 1.0);
+}
+
+TEST(Metrics, MeanIouOutOfRangeThrows) {
+  const std::vector<double> pred{5.0};
+  const std::vector<double> labels{0.0};
+  EXPECT_THROW((void)mean_iou(pred, labels, 2), std::invalid_argument);
+}
+
+TEST(Metrics, RocAucPerfectSeparation) {
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  const std::vector<double> targets{0.0, 0.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, targets), 1.0);
+}
+
+TEST(Metrics, RocAucReversedIsZero) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<double> targets{0.0, 0.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, targets), 0.0);
+}
+
+TEST(Metrics, RocAucRandomIsHalf) {
+  // Equal scores → ties everywhere → AUC = 0.5.
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<double> targets{0.0, 1.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, targets), 0.5);
+}
+
+TEST(Metrics, RocAucSingleClassIsHalf) {
+  const std::vector<double> scores{0.1, 0.9};
+  const std::vector<double> targets{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, targets), 0.5);
+}
+
+TEST(Metrics, RocAucRejectsNonBinary) {
+  const std::vector<double> scores{0.1, 0.9};
+  const std::vector<double> targets{0.0, 2.0};
+  EXPECT_THROW((void)roc_auc(scores, targets), std::invalid_argument);
+}
+
+TEST(Metrics, RocAucKnownMixedValue) {
+  // scores: pos {3, 1}, neg {2}. Pairs: (3>2)=1, (1<2)=0 → AUC = 0.5.
+  const std::vector<double> scores{3.0, 1.0, 2.0};
+  const std::vector<double> targets{1.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, targets), 0.5);
+}
+
+TEST(Metrics, Binarize) {
+  const std::vector<double> v{0.2, 0.5, 0.7};
+  const auto b = binarize(v, 0.5);
+  EXPECT_EQ(b, (std::vector<double>{0.0, 0.0, 1.0}));
+}
+
+TEST(Metrics, ToStringCoversAll) {
+  EXPECT_EQ(to_string(Metric::kAccuracy), "accuracy");
+  EXPECT_EQ(to_string(Metric::kMeanIoU), "mean_iou");
+  EXPECT_EQ(to_string(Metric::kAuc), "auc");
+  EXPECT_EQ(to_string(Metric::kPearson), "pearson");
+  EXPECT_EQ(to_string(Metric::kNegMse), "neg_mse");
+}
+
+TEST(EvaluateModel, AccuracyPath) {
+  // A linear model that copies feature 0 vs feature 1 as logits.
+  MlpConfig cfg;
+  cfg.input_dim = 2;
+  cfg.output_dim = 2;
+  rngx::Rng rng{1};
+  Mlp m{cfg, rng};
+  m.weights()[0] = math::Matrix{{1.0, 0.0}, {0.0, 1.0}};
+  m.biases()[0] = {0.0, 0.0};
+  Dataset test;
+  test.kind = TaskKind::kClassification;
+  test.num_classes = 2;
+  test.x = math::Matrix{{1.0, 0.0}, {0.0, 1.0}, {2.0, 1.0}};
+  test.y = {0.0, 1.0, 1.0};  // last one is wrong for this model
+  EXPECT_NEAR(evaluate_model(m, test, Metric::kAccuracy), 2.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluateModel, NegMsePath) {
+  MlpConfig cfg;
+  cfg.input_dim = 1;
+  cfg.output_dim = 1;
+  rngx::Rng rng{2};
+  Mlp m{cfg, rng};
+  m.weights()[0] = math::Matrix{{1.0}};
+  m.biases()[0] = {0.0};
+  Dataset test;
+  test.kind = TaskKind::kRegression;
+  test.x = math::Matrix{{1.0}, {2.0}};
+  test.y = {1.0, 1.0};
+  // predictions {1, 2} vs targets {1, 1} → MSE = 0.5 → metric −0.5
+  EXPECT_NEAR(evaluate_model(m, test, Metric::kNegMse), -0.5, 1e-12);
+}
+
+TEST(EvaluateModel, EmptyTestThrows) {
+  MlpConfig cfg;
+  cfg.input_dim = 1;
+  cfg.output_dim = 1;
+  rngx::Rng rng{3};
+  const Mlp m{cfg, rng};
+  const Dataset empty;
+  EXPECT_THROW((void)evaluate_model(m, empty, Metric::kAccuracy),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace varbench::ml

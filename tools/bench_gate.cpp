@@ -1,0 +1,95 @@
+// bench_gate — the CI entry point of the perf-trajectory gate
+// (docs/metrics.md). Identical engine to `varbench bench`; this thin
+// binary exists so CI can run the gate without the full CLI surface and
+// so a bare checkout can gate before any spec machinery is touched.
+//
+//   bench_gate [--gate] [--dir bench] [--threshold X] [--repeats N]
+//              [--scale S] [--threads N] [--label L] [--no-append]
+//              [--inject-slowdown M]
+//
+// Prints a markdown trajectory table (CI pipes stdout into the step
+// summary), appends min-of-N rows to <dir>/BENCH_exec.json and
+// <dir>/BENCH_campaign.json, and with --gate exits 1 on any regression
+// beyond the threshold noise band. --inject-slowdown M multiplies the
+// fresh timings before the compare — CI's self-test injects 2.0 and
+// asserts the gate fails.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "bench/bench_spec.h"
+#include "src/metrics/gate.h"
+#include "src/version.h"
+
+namespace {
+
+int usage(int code) {
+  std::fprintf(stderr,
+               "usage: bench_gate [--gate] [--dir bench] [--threshold X] "
+               "[--repeats N] [--scale S] [--threads N] [--label L] "
+               "[--no-append] [--inject-slowdown M]\n"
+               "shared VARBENCH_* knobs (bench/bench_spec.h) supply the "
+               "defaults for --repeats/--scale/--threads\n");
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using varbench::benchutil::BenchSpec;
+  const BenchSpec& knobs = BenchSpec::env();
+  varbench::metrics::GateOptions opts;
+  opts.repeats = knobs.reps.value_or(5);
+  opts.scale = knobs.scale.value_or(1.0);
+  opts.threads = knobs.threads;
+  opts.label = "ci";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_gate: %s expects a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--gate") {
+      opts.gate = true;
+    } else if (arg == "--no-append") {
+      opts.append = false;
+    } else if (arg == "--dir") {
+      opts.bench_dir = value();
+    } else if (arg == "--threshold") {
+      opts.threshold = std::atof(value());
+    } else if (arg == "--repeats") {
+      opts.repeats = static_cast<std::size_t>(std::atol(value()));
+    } else if (arg == "--scale") {
+      opts.scale = std::atof(value());
+    } else if (arg == "--threads") {
+      opts.threads = static_cast<std::size_t>(std::atol(value()));
+    } else if (arg == "--label") {
+      opts.label = value();
+    } else if (arg == "--inject-slowdown") {
+      opts.inject_slowdown = std::atof(value());
+    } else if (arg == "--version") {
+      std::printf("bench_gate %.*s\n",
+                  static_cast<int>(varbench::kVersion.size()),
+                  varbench::kVersion.data());
+      return 0;
+    } else if (arg == "--help") {
+      return usage(0);
+    } else {
+      std::fprintf(stderr, "bench_gate: unknown flag '%s'\n", arg.c_str());
+      return usage(2);
+    }
+  }
+
+  try {
+    return varbench::metrics::run_bench_gate(opts, stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_gate: %s\n", e.what());
+    return 1;
+  }
+}

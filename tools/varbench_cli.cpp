@@ -46,9 +46,13 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_spec.h"
 #include "src/campaign/campaign.h"
 #include "src/campaign/subprocess.h"
 #include "src/io/json.h"
+#include "src/metrics/gate.h"
+#include "src/metrics/metrics.h"
+#include "src/metrics/table.h"
 #include "src/report/artifact.h"
 #include "src/report/render.h"
 #include "src/report/report_spec.h"
@@ -93,7 +97,8 @@ struct Args {
 
 /// Flags that never consume the following token as a value.
 const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> flags{"canonical", "help", "json",
+  static const std::set<std::string> flags{"canonical", "gate",      "help",
+                                           "json",      "list",      "no-append",
                                            "plan-only", "resume"};
   return flags;
 }
@@ -243,16 +248,36 @@ int run_built_spec(study::StudySpec spec, const Args& a) {
   return finish_study(study::run_study(spec), a);
 }
 
+// ------------------------------------------------ introspection envelope
+
+/// Every machine-readable introspection surface — `--version --json`,
+/// `list --json`, `metrics --list --json` — goes through this one helper
+/// pair, so tooling can key on the shared {"tool", "version"} envelope no
+/// matter which registry it asked for.
+io::Json tool_envelope() {
+  io::Json doc = io::Json::object();
+  doc.set("tool", io::Json{std::string{"varbench"}});
+  doc.set("version", io::Json{std::string{kVersion}});
+  return doc;
+}
+
+int emit_introspection(const io::Json& doc) {
+  std::fputs((doc.dump(2) + "\n").c_str(), stdout);
+  return 0;
+}
+
 // ------------------------------------------------------- spec subcommands
 
 int cmd_run(const Args& a) {
-  require_known_flags(
-      a, {"set", "shard", "threads", "out", "csv", "canonical", "format"});
+  require_known_flags(a, {"set", "shard", "threads", "out", "csv", "canonical",
+                          "format", "metrics", "metrics-out"});
   if (a.positional.empty()) {
     std::fprintf(stderr,
                  "usage: varbench run <spec.json> [--set key=val ...] "
                  "[--shard i/N] [--threads N] [--out out.json] "
-                 "[--csv out.csv] [--canonical] [--format auto|json|binary]\n");
+                 "[--csv out.csv] [--canonical] [--format auto|json|binary] "
+                 "[--metrics all|<subsystem>|<name>,... "
+                 "[--metrics-out metrics.json]]\n");
     return 2;
   }
   io::Json doc = io::Json::parse(io::read_file(a.positional[0]));
@@ -268,7 +293,26 @@ int cmd_run(const Args& a) {
     study::apply_override(doc, "shard.count", std::to_string(s.count));
   }
   const auto spec = study::StudySpec::from_json(doc);
-  return finish_study(study::run_study(spec), a);
+  // Metrics are provenance, never identity: enabling them cannot change
+  // the artifact bytes (docs/metrics.md), so the snapshot rides next to —
+  // not inside — the study artifact, as its own canonical ResultTable.
+  const std::string* selection = a.find("metrics");
+  if (selection != nullptr) {
+    metrics::enable_selection(metrics::global_sink(), *selection);
+  }
+  const int rc = finish_study(study::run_study(spec), a);
+  if (selection != nullptr) {
+    const study::ResultTable mtable = metrics::to_result_table(
+        metrics::global_sink().snapshot(), "metrics:run");
+    if (const std::string* mout = a.find("metrics-out")) {
+      mtable.save(*mout);
+      std::fprintf(stderr, "metrics: %zu metric(s) -> %s\n",
+                   mtable.rows.size(), mout->c_str());
+    } else {
+      std::fputs(mtable.to_csv().c_str(), stderr);
+    }
+  }
+  return rc;
 }
 
 /// Expand a merge operand: a file stands for itself; a directory stands for
@@ -335,7 +379,7 @@ int cmd_merge(const Args& a) {
 int cmd_campaign(const Args& a) {
   require_known_flags(a, {"shards", "workers", "dir", "resume", "max-retries",
                           "stale-ms", "task-timeout-ms", "set", "threads",
-                          "plan-only", "format"});
+                          "plan-only", "format", "metrics"});
   const std::string dir = opt_string(a, "dir", "");
   const bool plan_only = opt_flag(a, "plan-only");
   if (a.positional.empty() || (dir.empty() && !plan_only)) {
@@ -343,7 +387,8 @@ int cmd_campaign(const Args& a) {
                  "usage: varbench campaign <spec.json> ... --dir <state-dir> "
                  "[--shards N] [--workers K] [--resume] [--max-retries R] "
                  "[--stale-ms T] [--task-timeout-ms T] [--set key=val ...] "
-                 "[--threads N] [--plan-only] [--format json|binary]\n"
+                 "[--threads N] [--plan-only] [--format json|binary] "
+                 "[--metrics all|<subsystem>|<name>,...]\n"
                  "each <spec.json> is one StudySpec or a JSON array of "
                  "specs; --resume finishes the gaps of an existing state "
                  "dir; --plan-only validates every spec and prints the task "
@@ -392,6 +437,12 @@ int cmd_campaign(const Args& a) {
     std::printf("plan: %zu task(s) over %zu study(ies)\n", tasks.size(),
                 studies.size());
     return 0;
+  }
+
+  // Coordinator metrics land in campaign.json's "metrics" provenance
+  // block next to the per-task wall_time_ms (docs/metrics.md).
+  if (const std::string* selection = a.find("metrics")) {
+    metrics::enable_selection(metrics::global_sink(), *selection);
   }
 
   campaign::CampaignConfig cfg;
@@ -517,14 +568,55 @@ int cmd_report(const Args& a) {
 int cmd_list(const Args& a) {
   require_known_flags(a, {"json"});
   if (a.find("json") != nullptr) {
-    std::fputs(study::list_study_kinds_json().c_str(), stdout);
-    return 0;
+    io::Json doc = tool_envelope();
+    doc.set("kinds", study::study_kinds_json());
+    return emit_introspection(doc);
   }
   std::fputs(study::list_study_kinds_text().c_str(), stdout);
   std::printf(
       "\nrun one with: varbench run spec.json (spec: {\"kind\": \"<name>\"} "
       "+ optional common fields and params overrides)\n");
   return 0;
+}
+
+/// varbench metrics --list [--json]: the metric registry — stable integer
+/// ids, names, kinds, units, subsystems (docs/metrics.md) — through the
+/// same introspection envelope as `list --json`.
+int cmd_metrics(const Args& a) {
+  require_known_flags(a, {"list", "json"});
+  if (a.find("json") != nullptr) {
+    io::Json doc = tool_envelope();
+    doc.set("metrics", metrics::registry_json());
+    return emit_introspection(doc);
+  }
+  std::fputs(metrics::registry_text().c_str(), stdout);
+  std::printf(
+      "\nenable with --metrics <sel> on run/campaign (sel: \"all\", a "
+      "subsystem, or metric names, comma-separated)\n");
+  return 0;
+}
+
+/// varbench bench [--gate]: the perf-trajectory rung (docs/metrics.md).
+/// Runs the instrumented microbench suites, appends min-of-N rows to
+/// bench/BENCH_exec.json / BENCH_campaign.json, and in gate mode fails on
+/// regressions beyond the noise band. Defaults come from the same
+/// BenchSpec environment parse the bench/ binaries use, so both surfaces
+/// are driven uniformly.
+int cmd_bench(const Args& a) {
+  require_known_flags(a, {"gate", "dir", "threshold", "repeats", "scale",
+                          "threads", "label", "no-append", "inject-slowdown"});
+  const benchutil::BenchSpec& knobs = benchutil::BenchSpec::env();
+  metrics::GateOptions opts;
+  opts.bench_dir = opt_string(a, "dir", "bench");
+  opts.threshold = opt_double(a, "threshold", 1.5);
+  opts.repeats = opt_size(a, "repeats", knobs.reps.value_or(5));
+  opts.scale = opt_double(a, "scale", knobs.scale.value_or(1.0));
+  opts.threads = opt_size(a, "threads", knobs.threads);
+  opts.gate = opt_flag(a, "gate");
+  opts.append = !opt_flag(a, "no-append");
+  opts.label = opt_string(a, "label", "local");
+  opts.inject_slowdown = opt_double(a, "inject-slowdown", 1.0);
+  return metrics::run_bench_gate(opts, stdout);
 }
 
 int cmd_tasks(const Args& a) {
@@ -663,6 +755,13 @@ void usage() {
       "          [--format json|binary] (docs/campaigns.md)\n"
       "  list    [--json]  registered study kinds (incl. every paper\n"
       "          figure/table); --json emits the machine-readable registry\n"
+      "  metrics --list [--json]  the metric registry: stable ids, names,\n"
+      "          units, subsystems (docs/metrics.md); enable with\n"
+      "          --metrics <sel> on run/campaign\n"
+      "  bench   [--gate] [--dir bench] [--threshold X] [--repeats N]\n"
+      "          [--scale S] [--threads N] [--label L] [--no-append]\n"
+      "          run the instrumented microbenches, append the perf\n"
+      "          trajectory, gate regressions (docs/metrics.md)\n"
       "  report  <artifact.json | dir> [--spec r.json] [--set key=val ...]\n"
       "          [--format text|markdown|csv|json] [--compare other.json]\n"
       "          [--threads N] [--out file] (docs/reporting.md)\n"
@@ -689,12 +788,13 @@ int main(int argc, char** argv) {
   }
   g_argv0 = argv[0];
   const std::string cmd = argv[1];
+  const Args args = parse(argc, argv, 2);
   if (cmd == "--version") {
+    if (args.find("json") != nullptr) return emit_introspection(tool_envelope());
     std::printf("varbench %.*s\n", static_cast<int>(kVersion.size()),
                 kVersion.data());
     return 0;
   }
-  const Args args = parse(argc, argv, 2);
   try {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "merge") return cmd_merge(args);
@@ -702,6 +802,8 @@ int main(int argc, char** argv) {
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "report") return cmd_report(args);
     if (cmd == "list") return cmd_list(args);
+    if (cmd == "metrics") return cmd_metrics(args);
+    if (cmd == "bench") return cmd_bench(args);
     if (cmd == "tasks") return cmd_tasks(args);
     if (cmd == "plan") return cmd_plan(args);
     if (cmd == "study") return cmd_study(args);
