@@ -11,8 +11,12 @@
 #include "src/io/columnar/vbt.h"
 #include "src/io/json.h"
 #include "src/metrics/metrics.h"
+#include "src/rngx/rng.h"
 #include "src/study/result_table.h"
 #include "src/study/study_runner.h"
+#include "src/trace/file.h"
+#include "src/trace/stopwatch.h"
+#include "src/trace/trace.h"
 
 namespace varbench::campaign {
 
@@ -243,6 +247,25 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
   WorkQueue queue{cfg.dir, ext};
   metrics::Sink& sink =
       cfg.metrics != nullptr ? *cfg.metrics : metrics::global_sink();
+  // The coordinator's tracer is run-local by default — deliberately NOT
+  // trace::global_tracer(), which in_process_launcher() resets and drains
+  // per task and must not swallow coordinator lifecycle spans. All-disabled
+  // (every emit is one branch) unless cfg.trace turned the campaign
+  // subsystem on.
+  trace::Tracer local_tracer;
+  trace::Tracer& tracer = cfg.tracer != nullptr ? *cfg.tracer : local_tracer;
+  if (cfg.trace && cfg.tracer == nullptr) {
+    trace::enable_selection(local_tracer, "campaign");
+  }
+  // Lifecycle instants carry the task-id hash as their identity-derived
+  // ident, with the readable id attached as a label (docs/tracing.md).
+  const auto task_event = [&tracer](trace::SpanId id,
+                                    const std::string& task_id) {
+    if (!tracer.is_enabled(id)) return;
+    const std::uint64_t ident = rngx::hash_tag(task_id);
+    tracer.set_label(ident, task_id);
+    trace::instant(tracer, id, ident);
+  };
   auto tasks = plan_tasks(studies, cfg.shards);
 
   CampaignReport report;
@@ -309,6 +332,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
     if (st.status == TaskState::Status::kPending && !queue.is_queued(id) &&
         !queue.is_claimed(id)) {
       queue.enqueue(Ticket{id, 0, ""});
+      task_event(trace::kCampaignTaskQueued, id);
     }
   }
   write_manifest(queue, cfg, studies, states, &sink);
@@ -331,6 +355,8 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
       report.merged_outputs.push_back(out);
       return;
     }
+    const trace::ScopedSpan merge_span{tracer, trace::kCampaignStudyMerged,
+                                       static_cast<std::uint64_t>(k)};
     try {
       std::vector<study::ResultTable> shards;
       std::size_t count = 0;
@@ -371,8 +397,35 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
     std::unique_ptr<WorkerHandle> handle;
     std::chrono::steady_clock::time_point started;
     std::chrono::steady_clock::time_point last_beat;
+    /// Last time the heartbeat rewrote the claim body with a status
+    /// snapshot (full rewrites are throttled; mtime-only touches are not).
+    std::chrono::steady_clock::time_point last_status;
+    /// trace::span_begin of the campaign.task_running span; 0 = disabled.
+    std::uint64_t trace_begin = 0;
   };
   std::vector<Active> active;
+
+  // The live progress snapshot a status-carrying heartbeat embeds in the
+  // claim body — everything `varbench status` shows without touching the
+  // queue (docs/tracing.md).
+  const auto status_snapshot = [&](const Active& a) {
+    const TaskState& st = states[a.state_index];
+    std::size_t done = 0;
+    for (const auto& s : states) {
+      if (s.status == TaskState::Status::kDone) ++done;
+    }
+    io::Json status = io::Json::object();
+    status.set("attempt", io::Json{st.attempts});
+    status.set("running_ms",
+               io::Json{std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - a.started)
+                            .count()});
+    status.set("tasks_done", io::Json{done});
+    status.set("tasks_total", io::Json{states.size()});
+    status.set("retried", io::Json{report.retried});
+    status.set("workers_active", io::Json{active.size()});
+    return status;
+  };
 
   const auto state_index_of = [&](const std::string& id) -> std::size_t {
     for (std::size_t i = 0; i < states.size(); ++i) {
@@ -407,7 +460,16 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
             std::this_thread::sleep_for(std::chrono::milliseconds{1});
           }
         } else {
-          queue.heartbeat(it->ticket);
+          // Plain mtime touch every poll; full status-body rewrite at most
+          // ~1/s (the first beat immediately), so liveness stays cheap and
+          // `varbench status` still sees fresh numbers.
+          const auto now = std::chrono::steady_clock::now();
+          if (now - it->last_status >= std::chrono::seconds{1}) {
+            queue.heartbeat(it->ticket, status_snapshot(*it));
+            it->last_status = now;
+          } else {
+            queue.heartbeat(it->ticket);
+          }
           // Beat-to-beat period vs poll_interval: scheduling jitter of the
           // reap loop (autoscaling signal, ROADMAP item 2).
           if (sink.is_enabled(metrics::kCampaignHeartbeatJitterNs)) {
@@ -429,6 +491,8 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
       progressed = true;
       TaskState& st = states[it->state_index];
       const std::string& id = st.task.id;
+      trace::span_end(tracer, trace::kCampaignTaskRunning, rngx::hash_tag(id),
+                      it->trace_begin);
       const int code = it->handle->exit_code();
       const std::string part = queue.partial_artifact_path(id);
 
@@ -463,6 +527,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
         st.status = TaskState::Status::kDone;
         st.completed_this_run = true;
         queue.complete(it->ticket);
+        task_event(trace::kCampaignTaskPromoted, id);
         event(cfg, "task %s: done (attempt %zu)", id.c_str(), st.attempts);
         maybe_merge_study(st.task.study_index);
       } else {
@@ -471,6 +536,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
         const std::size_t used = it->ticket.attempts + 1;
         if (used < 1 + cfg.max_retries) {
           queue.release_for_retry(it->ticket, used);
+          task_event(trace::kCampaignTaskRetried, id);
           ++report.retried;
           sink.add(metrics::kCampaignTaskRetries);
           event(cfg, "task %s: attempt %zu failed (%s; log: %s) — retrying",
@@ -532,9 +598,12 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
       }
       TaskState& st = states[idx];
       st.attempts = ticket->attempts + 1;
+      task_event(trace::kCampaignTaskClaimed, st.task.id);
       std::error_code ec;
       fs::remove(queue.partial_artifact_path(st.task.id), ec);
       const auto claimed_at = std::chrono::steady_clock::now();
+      const std::uint64_t trace_begin =
+          trace::span_begin(tracer, trace::kCampaignTaskRunning);
       auto handle = launcher(st.task, queue.spec_path(st.task.id),
                              queue.partial_artifact_path(st.task.id),
                              queue.log_path(st.task.id));
@@ -550,7 +619,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
       event(cfg, "task %s: launched (attempt %zu)", st.task.id.c_str(),
             st.attempts);
       active.push_back(Active{*ticket, idx, std::move(handle), launched_at,
-                              launched_at});
+                              launched_at, {}, trace_begin});
     }
 
     // 5. Nothing running and nothing claimable: remaining tasks must be
@@ -587,6 +656,19 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
     if (st.status == TaskState::Status::kDone) ++report.completed;
   }
   write_manifest(queue, cfg, studies, states, &sink);
+  if (cfg.trace) {
+    // Coordinator lifecycle spans, plus whatever the coordinator itself
+    // recorded on the process-global tracer (io spans from artifact loads
+    // during validation/merge) when that is a different object.
+    trace::TraceFile coord = trace::drain(tracer, "coordinator");
+    if (&trace::global_tracer() != &tracer &&
+        trace::global_tracer().any_enabled()) {
+      trace::append(coord, trace::drain(trace::global_tracer(), "coordinator"));
+    }
+    trace::write_trace_file(
+        (fs::path{queue.trace_dir()} / "coordinator.trace.json").string(),
+        coord);
+  }
   event(cfg,
         "campaign: %zu/%zu task(s) done (launched %zu worker(s), reused %zu "
         "artifact(s), retried %zu, reclaimed %zu stale claim(s)); state: %s",
@@ -597,9 +679,9 @@ CampaignReport run_campaign(const CampaignConfig& cfg,
 
 // -------------------------------------------------------------- launchers
 
-WorkerLauncher subprocess_launcher(std::string varbench_binary) {
-  return [bin = std::move(varbench_binary)](
-             const CampaignTask&, const std::string& spec_path,
+WorkerLauncher subprocess_launcher(std::string varbench_binary, bool trace) {
+  return [bin = std::move(varbench_binary), trace](
+             const CampaignTask& task, const std::string& spec_path,
              const std::string& artifact_path,
              const std::string& log_path) -> std::unique_ptr<WorkerHandle> {
     class ProcessHandle : public WorkerHandle {
@@ -613,8 +695,20 @@ WorkerLauncher subprocess_launcher(std::string varbench_binary) {
       Subprocess process_;
     };
     try {
-      return std::make_unique<ProcessHandle>(Subprocess::spawn(
-          {bin, "run", spec_path, "--out", artifact_path}, log_path));
+      std::vector<std::string> argv{bin, "run", spec_path, "--out",
+                                    artifact_path};
+      if (trace) {
+        // artifact_path is <dir>/artifacts/<id>.<ext>.part — the state dir
+        // is two levels up, and the trace lands beside the other workers'.
+        const fs::path state_dir =
+            fs::path{artifact_path}.parent_path().parent_path();
+        argv.push_back("--trace-out");
+        argv.push_back(
+            (state_dir / "traces" / trace::worker_trace_name(task.id))
+                .string());
+      }
+      return std::make_unique<ProcessHandle>(
+          Subprocess::spawn(argv, log_path));
     } catch (const std::exception& e) {
       // Spawn failure counts as a failed attempt, not a coordinator crash.
       try {
@@ -627,11 +721,20 @@ WorkerLauncher subprocess_launcher(std::string varbench_binary) {
   };
 }
 
-WorkerLauncher in_process_launcher() {
-  return [](const CampaignTask&, const std::string& spec_path,
-            const std::string& artifact_path,
-            const std::string& log_path) -> std::unique_ptr<WorkerHandle> {
+WorkerLauncher in_process_launcher(bool trace) {
+  return [trace](const CampaignTask& task, const std::string& spec_path,
+                 const std::string& artifact_path,
+                 const std::string& log_path) -> std::unique_ptr<WorkerHandle> {
     try {
+      // Tracing mirrors what a subprocess worker with --trace-out does:
+      // the process-global tracer, reset before the run so the task's
+      // trace numbers exec regions from 0, drained to the task's worker
+      // trace file after.
+      trace::Tracer& g = trace::global_tracer();
+      if (trace) {
+        g.reset();
+        g.enable_all();
+      }
       // Execute what the state dir records — exactly what a subprocess
       // worker would read — not the in-memory task.
       const auto spec =
@@ -644,6 +747,14 @@ WorkerLauncher in_process_launcher() {
       WorkQueue::atomic_write(artifact_path,
                               binary ? io::columnar::encode_vbt(table)
                                      : table.to_json_text());
+      if (trace) {
+        const fs::path state_dir =
+            fs::path{artifact_path}.parent_path().parent_path();
+        trace::write_trace_file(
+            (state_dir / "traces" / trace::worker_trace_name(task.id))
+                .string(),
+            trace::drain(g, "worker-" + task.id));
+      }
       return std::make_unique<CompletedHandle>(0);
     } catch (const std::exception& e) {
       try {

@@ -26,6 +26,10 @@ namespace varbench::metrics {
 class Sink;
 }  // namespace varbench::metrics
 
+namespace varbench::trace {
+class Tracer;
+}  // namespace varbench::trace
+
 namespace varbench::campaign {
 
 /// One schedulable unit: study `study_index` restricted to `spec.shard`.
@@ -80,6 +84,17 @@ struct CampaignConfig {
   /// merged totals are emitted into campaign.json as a "metrics"
   /// provenance block next to the per-task wall_time_ms.
   metrics::Sink* metrics = nullptr;
+  /// Record task-lifecycle spans (queued → claimed → running →
+  /// promoted/retried, study merges) and flush them to
+  /// `<dir>/traces/coordinator.trace.json` at the end of the run
+  /// (docs/tracing.md). Traces are provenance only: artifacts stay
+  /// byte-identical with tracing on (pinned by tests/test_trace.cpp).
+  bool trace = false;
+  /// Tracer the coordinator records into when `trace` is set. nullptr — the
+  /// default — means a run-local tracer, deliberately NOT the process
+  /// global one: in_process_launcher() drains the global tracer into each
+  /// task's worker trace file, which must not swallow coordinator spans.
+  trace::Tracer* tracer = nullptr;
 };
 
 struct CampaignReport {
@@ -112,11 +127,17 @@ struct CampaignReport {
     const WorkerLauncher& launcher);
 
 /// Launcher that spawns `<varbench_binary> run <spec> --out <artifact>`.
-[[nodiscard]] WorkerLauncher subprocess_launcher(std::string varbench_binary);
+/// With `trace` set, workers run with `--trace-out <state>/traces/
+/// worker-<task>.trace.json` so every task leaves a trace file behind.
+[[nodiscard]] WorkerLauncher subprocess_launcher(std::string varbench_binary,
+                                                 bool trace = false);
 
 /// Launcher that calls study::run_study() in this process (synchronously).
 /// The coordinator-under-test path, and the embedder path when process
-/// isolation is not wanted.
-[[nodiscard]] WorkerLauncher in_process_launcher();
+/// isolation is not wanted. With `trace` set, each task runs with the
+/// process-global tracer fully enabled (reset before, drained to the
+/// task's worker trace file after) — the in-process analogue of a worker
+/// subprocess's own tracer.
+[[nodiscard]] WorkerLauncher in_process_launcher(bool trace = false);
 
 }  // namespace varbench::campaign

@@ -67,7 +67,7 @@ WorkQueue::WorkQueue(std::string dir, std::string artifact_ext)
   }
   std::error_code ec;
   for (const char* sub : {"", "queue", "claims", "specs", "artifacts", "logs",
-                          "merged"}) {
+                          "merged", "traces"}) {
     const fs::path p = fs::path{dir_} / sub;
     fs::create_directories(p, ec);
     if (ec && !fs::is_directory(p)) {
@@ -109,6 +109,15 @@ std::string WorkQueue::manifest_path() const {
 
 std::string WorkQueue::merged_dir() const {
   return (fs::path{dir_} / "merged").string();
+}
+
+std::string WorkQueue::trace_dir() const {
+  return (fs::path{dir_} / "traces").string();
+}
+
+std::string WorkQueue::trace_path(const std::string& task_id) const {
+  return (fs::path{dir_} / "traces" / ("worker-" + task_id + ".trace.json"))
+      .string();
 }
 
 void WorkQueue::atomic_write(const std::string& path,
@@ -175,6 +184,24 @@ void WorkQueue::heartbeat(const Ticket& claimed) const {
                          (claimed.task_id + std::string{kClaimSuffix});
   std::error_code ec;
   fs::last_write_time(claim, fs::file_time_type::clock::now(), ec);
+}
+
+void WorkQueue::heartbeat(const Ticket& claimed, const io::Json& status) const {
+  const fs::path claim = fs::path{dir_} / "claims" /
+                         (claimed.task_id + std::string{kClaimSuffix});
+  // Same ownership guard as complete(): after a stale-claim takeover the
+  // on-disk file is someone else's live claim — never overwrite it.
+  try {
+    if (parse_ticket(claim.string()).owner != claimed.owner) return;
+  } catch (const io::JsonError&) {
+    return;  // gone or unreadable: nothing to refresh
+  }
+  io::Json doc = io::Json::object();
+  doc.set("task", io::Json{claimed.task_id});
+  doc.set("attempts", io::Json{claimed.attempts});
+  if (!claimed.owner.empty()) doc.set("owner", io::Json{claimed.owner});
+  doc.set("status", status);
+  atomic_write(claim.string(), doc.dump(2) + "\n");
 }
 
 void WorkQueue::release_for_retry(const Ticket& claimed, std::size_t attempts) {

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "src/io/json.h"
+
 namespace varbench::campaign {
 
 /// A queue ticket: how many launches the task has already consumed, and —
@@ -58,6 +60,9 @@ class WorkQueue {
   [[nodiscard]] std::string log_path(const std::string& task_id) const;
   [[nodiscard]] std::string manifest_path() const;
   [[nodiscard]] std::string merged_dir() const;
+  /// Where per-process trace files land (docs/tracing.md).
+  [[nodiscard]] std::string trace_dir() const;
+  [[nodiscard]] std::string trace_path(const std::string& task_id) const;
 
   /// Make the task claimable (atomic write of queue/<id>.todo). Overwrites
   /// an existing ticket for the same task.
@@ -73,6 +78,16 @@ class WorkQueue {
 
   /// Refresh the claim's heartbeat (mtime). No-op if the claim is gone.
   void heartbeat(const Ticket& claimed) const;
+
+  /// Heartbeat that also embeds a live progress snapshot: rewrites the
+  /// claim body as the ticket fields plus a "status" object (which
+  /// `varbench status` renders), refreshing mtime via the atomic-write
+  /// rename. Readers that only look at mtime — stale-claim reclaim, old
+  /// tooling — are unaffected, and parse_ticket ignores the extra key, so
+  /// old state dirs and new ones interoperate both ways. No-op unless
+  /// `claimed.owner` still owns the on-disk claim (same takeover guard as
+  /// complete()).
+  void heartbeat(const Ticket& claimed, const io::Json& status) const;
 
   /// Return a claimed task to the queue carrying `attempts` (the launches
   /// consumed so far) — the retry path.

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "src/metrics/metrics.h"
+#include "src/trace/trace.h"
 
 namespace varbench::exec {
 
@@ -30,6 +31,16 @@ struct ExecContext {
   /// The sink instrumented code records into (never null).
   [[nodiscard]] metrics::Sink& sink() const {
     return metrics != nullptr ? *metrics : metrics::global_sink();
+  }
+
+  /// Optional span tracer (docs/tracing.md), same contract as `metrics`:
+  /// nullptr resolves to the all-disabled-by-default process tracer, and
+  /// traces are pure provenance — enabling them never changes result bytes.
+  trace::Tracer* tracer = nullptr;
+
+  /// The tracer instrumented code emits spans into (never null).
+  [[nodiscard]] trace::Tracer& spans() const {
+    return tracer != nullptr ? *tracer : trace::global_tracer();
   }
 
   /// The actual worker count to schedule with (never 0).

@@ -20,6 +20,8 @@
 #include "src/exec/thread_pool.h"
 #include "src/metrics/metrics.h"
 #include "src/metrics/stopwatch.h"
+#include "src/trace/stopwatch.h"
+#include "src/trace/trace.h"
 
 namespace varbench::exec {
 
@@ -54,11 +56,26 @@ void parallel_for(const ExecContext& ctx, std::size_t begin, std::size_t end,
   sink.add(metrics::kExecRegions);
   sink.observe(metrics::kExecRegionThreads, threads);
 
+  // Span idents are identity-derived (docs/tracing.md): a tracer-wide
+  // region sequence number, with chunk idents packed as (region << 32) |
+  // chunk index — never a pointer, tid, or clock value, so the same work
+  // traced at any thread count yields the same (span, ident) multiset.
+  trace::Tracer& tracer = ctx.spans();
+  const bool trace_chunks = tracer.is_enabled(trace::kExecChunk);
+  const std::uint64_t region_ident =
+      (tracer.is_enabled(trace::kExecRegion) || trace_chunks)
+          ? tracer.next_sequence()
+          : 0;
+  const trace::ScopedSpan region_span{tracer, trace::kExecRegion,
+                                      region_ident};
+
   if (threads <= 1) {
     // An inline region is one chunk spanning the whole range.
     sink.add(metrics::kExecChunks);
     sink.observe(metrics::kExecChunkSize, n);
     const metrics::ScopedTimer chunk_timer{sink, metrics::kExecChunkRunNs};
+    const trace::ScopedSpan chunk_span{tracer, trace::kExecChunk,
+                                       region_ident << 32};
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -83,6 +100,9 @@ void parallel_for(const ExecContext& ctx, std::size_t begin, std::size_t end,
       sink.observe(metrics::kExecChunkSize, hi - lo);
       try {
         const metrics::ScopedTimer chunk_timer{sink, metrics::kExecChunkRunNs};
+        const trace::ScopedSpan chunk_span{
+            tracer, trace::kExecChunk,
+            (region_ident << 32) | static_cast<std::uint64_t>(c)};
         for (std::size_t i = lo; i < hi; ++i) body(i);
       } catch (...) {
         {

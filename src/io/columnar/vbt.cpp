@@ -6,7 +6,10 @@
 
 #include "src/metrics/metrics.h"
 #include "src/metrics/stopwatch.h"
+#include "src/rngx/rng.h"
 #include "src/study/result_table.h"
+#include "src/trace/stopwatch.h"
+#include "src/trace/trace.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -30,6 +33,15 @@ using study::Row;
                        const std::string& what) {
   throw JsonError("columnar artifact '" + path + "': " + what +
                   " (byte offset " + std::to_string(offset) + ")");
+}
+
+/// Identity-derived span ident for one artifact: hash of the file NAME
+/// only (e.g. "s0-0of2.vbt"), never the full path, so traces of the same
+/// campaign compare equal across state directories (docs/tracing.md).
+std::uint64_t file_span_ident(std::string_view path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash != std::string_view::npos) path.remove_prefix(slash + 1);
+  return rngx::hash_tag(path);
 }
 
 std::size_t element_bytes(ColumnType type) {
@@ -295,6 +307,12 @@ MappedTable::~MappedTable() {
 }
 
 std::shared_ptr<const MappedTable> MappedTable::open(const std::string& path) {
+  // Like the metrics adds below, spans are load-path provenance on the
+  // global tracer; the ident hash is only computed when the span is live.
+  trace::Tracer& tracer = trace::global_tracer();
+  const trace::ScopedSpan map_span{
+      tracer, trace::kIoVbtMap,
+      tracer.is_enabled(trace::kIoVbtMap) ? file_span_ident(path) : 0};
   std::shared_ptr<MappedTable> t{new MappedTable};
   t->path_ = path;
 
@@ -663,6 +681,12 @@ Json MappedTable::cell(std::size_t row, std::size_t ci) const {
 study::ResultTable materialize(std::shared_ptr<const MappedTable> mapped) {
   const metrics::ScopedTimer materialize_timer{metrics::global_sink(),
                                                metrics::kIoMaterializeNs};
+  trace::Tracer& tracer = trace::global_tracer();
+  const trace::ScopedSpan materialize_span{
+      tracer, trace::kIoVbtMaterialize,
+      tracer.is_enabled(trace::kIoVbtMaterialize)
+          ? file_span_ident(mapped->path())
+          : 0};
   // Metadata rides the exact JSON document to_json writes (minus "rows"),
   // so the JSON reader's validation — schema, spec round-trip, shard
   // sanity — applies unchanged; the rows are then decoded column-wise.

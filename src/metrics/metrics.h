@@ -84,7 +84,12 @@ struct MetricDef {
   X(IoTablesMapped, "io.vbt_tables_mapped", "io", "count", kCounter,         \
     "VBT1 artifacts opened")                                                 \
   X(IoMaterializeNs, "io.vbt_materialize_ns", "io", "ns", kTimer,            \
-    "wall time of full VBT1-to-ResultTable materialization")
+    "wall time of full VBT1-to-ResultTable materialization")                 \
+  X(RngxStreamsDerived, "rngx.streams_derived", "rngx", "count", kCounter,   \
+    "Rng streams created — constructions, reseeds, and tag splits")          \
+  X(RngxDraws, "rngx.draws", "rngx", "count", kCounter,                      \
+    "raw 64-bit draws from the xoshiro core (every distribution bottoms "    \
+    "out here)")
 
 enum : MetricId {
 #define VARBENCH_METRIC_ENUM(sym, name, subsystem, unit, kind, help) k##sym,

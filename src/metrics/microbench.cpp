@@ -12,6 +12,7 @@
 #include "src/exec/thread_pool.h"
 #include "src/metrics/metrics.h"
 #include "src/metrics/stopwatch.h"
+#include "src/trace/trace.h"
 
 namespace varbench::metrics {
 
@@ -81,6 +82,18 @@ std::vector<MicrobenchResult> run_exec_microbenches(
   results.push_back(
       min_of("exec.parallel_for_metrics", "ns", opts.repeats, [&] {
         return time_parallel_for(instrumented, n, out);
+      }));
+
+  // And with exec spans live on a local tracer: the tracing analogue of
+  // the row above (region + per-chunk spans, two clock reads per chunk).
+  trace::Tracer tracer;
+  trace::enable_selection(tracer, "exec");
+  exec::ExecContext traced{opts.threads};
+  traced.tracer = &tracer;
+  results.push_back(
+      min_of("exec.parallel_for_trace", "ns", opts.repeats, [&] {
+        tracer.reset();
+        return time_parallel_for(traced, n, out);
       }));
 
   // Pool submit path, one task at a time vs one batched enqueue. A local

@@ -36,7 +36,12 @@ std::string field_str(const io::Json& row, const char* key,
 Trajectory Trajectory::load(const std::string& path) {
   Trajectory traj;
   if (!std::filesystem::exists(path)) return traj;
-  const io::Json doc = io::Json::parse(io::read_file(path));
+  const std::string text = io::read_file(path);
+  // An empty (or whitespace-only) file is the same first-run state as a
+  // missing one — `touch`ed by a wrapper script, or left by an interrupted
+  // write. The gate records a baseline instead of failing to parse.
+  if (text.find_first_not_of(" \t\r\n") == std::string::npos) return traj;
+  const io::Json doc = io::Json::parse(text);
   const io::Json* schema = doc.find("schema");
   if (schema == nullptr || schema->as_string() != kSchema) {
     throw io::JsonError{path + ": not a " + std::string{kSchema} +

@@ -1,0 +1,131 @@
+#include "src/trace/file.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/io/json.h"
+
+namespace varbench::trace {
+
+namespace {
+
+constexpr std::string_view kSchema = "varbench.trace.v1";
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw io::JsonError{"trace file '" + path + "': " + what};
+}
+
+}  // namespace
+
+TraceFile drain(Tracer& tracer, std::string process) {
+  TraceFile out;
+  out.process = std::move(process);
+  out.spans = tracer.take_events();
+  out.labels = tracer.take_labels();
+  out.dropped = tracer.dropped();
+  return out;
+}
+
+void append(TraceFile& into, TraceFile&& extra) {
+  into.dropped += extra.dropped;
+  into.spans.insert(into.spans.end(), extra.spans.begin(), extra.spans.end());
+  // Same deterministic order as Tracer::take_events.
+  std::sort(into.spans.begin(), into.spans.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.span != b.span) return a.span < b.span;
+              if (a.ident != b.ident) return a.ident < b.ident;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.dur_ns < b.dur_ns;
+            });
+  for (auto& [ident, label] : extra.labels) {
+    bool known = false;
+    for (const auto& [have, unused] : into.labels) known |= have == ident;
+    if (!known) into.labels.emplace_back(ident, std::move(label));
+  }
+  std::sort(into.labels.begin(), into.labels.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+std::string to_json_text(const TraceFile& file) {
+  const auto& defs = span_defs();
+  io::Json doc = io::Json::object();
+  doc.set("schema", io::Json{std::string{kSchema}});
+  doc.set("process", io::Json{file.process});
+  doc.set("dropped", io::Json{file.dropped});
+  io::Json spans = io::Json::array();
+  for (const SpanEvent& e : file.spans) {
+    io::Json row = io::Json::object();
+    row.set("span", io::Json{defs[e.span].name});
+    row.set("ident", io::Json{e.ident});
+    row.set("tid", io::Json{e.tid});
+    row.set("start_ns", io::Json{e.start_ns});
+    row.set("dur_ns", io::Json{e.dur_ns});
+    spans.push_back(std::move(row));
+  }
+  doc.set("spans", std::move(spans));
+  io::Json labels = io::Json::array();
+  for (const auto& [ident, label] : file.labels) {
+    io::Json row = io::Json::object();
+    row.set("ident", io::Json{ident});
+    row.set("label", io::Json{label});
+    labels.push_back(std::move(row));
+  }
+  doc.set("labels", std::move(labels));
+  return doc.dump(2) + "\n";
+}
+
+TraceFile parse_trace_file(const std::string& text, const std::string& path) {
+  io::Json doc;
+  try {
+    doc = io::Json::parse(text);
+  } catch (const io::JsonError& e) {
+    fail(path, e.what());
+  }
+  if (!doc.is_object()) fail(path, "top level is not an object");
+  const io::Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kSchema) {
+    fail(path, "missing or unsupported schema (want '" + std::string{kSchema} +
+                   "')");
+  }
+  TraceFile out;
+  out.process = doc.at("process").as_string();
+  if (const io::Json* dropped = doc.find("dropped"); dropped != nullptr) {
+    out.dropped = dropped->as_uint64();
+  }
+  for (const io::Json& row : doc.at("spans").as_array()) {
+    SpanEvent e;
+    const std::string& name = row.at("span").as_string();
+    try {
+      e.span = span_id(name);
+    } catch (const std::invalid_argument&) {
+      fail(path, "unknown span name '" + name + "'");
+    }
+    e.ident = row.at("ident").as_uint64();
+    e.tid = row.at("tid").as_uint64();
+    e.start_ns = row.at("start_ns").as_uint64();
+    e.dur_ns = row.at("dur_ns").as_uint64();
+    out.spans.push_back(e);
+  }
+  for (const io::Json& row : doc.at("labels").as_array()) {
+    out.labels.emplace_back(row.at("ident").as_uint64(),
+                            row.at("label").as_string());
+  }
+  return out;
+}
+
+void write_trace_file(const std::string& path, const TraceFile& file) {
+  io::write_file(path, to_json_text(file));
+}
+
+TraceFile read_trace_file(const std::string& path) {
+  return parse_trace_file(io::read_file(path), path);
+}
+
+std::string worker_trace_name(const std::string& task_id) {
+  return "worker-" + task_id + ".trace.json";
+}
+
+}  // namespace varbench::trace

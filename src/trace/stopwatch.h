@@ -1,0 +1,76 @@
+// Monotonic-clock helpers for the trace layer. This header is the ONE
+// place span-instrumented subsystems get time from: varlint's no-wallclock
+// rule whitelists exactly this file inside src/trace/
+// (docs/static_analysis.md), so everything else in the tracing layer —
+// tracer, serialization, stitcher — is statically clock-free, and the
+// enabled check happens BEFORE any clock read, keeping the disabled path
+// free of syscalls.
+//
+// Timestamps are provenance, never identity: nothing here may flow into
+// canonical_text() bytes (docs/determinism.md).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/trace/trace.h"
+
+namespace varbench::trace {
+
+/// Nanoseconds on the monotonic clock. Only meaningful as a difference
+/// within one process — the stitcher normalizes per-process timelines.
+[[nodiscard]] inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Records the scope as one duration span — but reads the clock only when
+/// the span is enabled, so a disabled span costs one branch in the
+/// constructor and one in the destructor.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, SpanId id, std::uint64_t ident)
+      : tracer_(tracer.is_enabled(id) ? &tracer : nullptr),
+        id_(id),
+        ident_(ident),
+        start_ns_(tracer_ != nullptr ? monotonic_ns() : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->emit(id_, ident_, start_ns_, monotonic_ns() - start_ns_);
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  SpanId id_;
+  std::uint64_t ident_;
+  std::uint64_t start_ns_;
+};
+
+/// Record a point event. One branch when disabled.
+inline void instant(Tracer& tracer, SpanId id, std::uint64_t ident) {
+  if (!tracer.is_enabled(id)) return;
+  tracer.emit(id, ident, monotonic_ns(), 0);
+}
+
+/// Manual begin/end pair for spans that cannot use RAII scoping (the
+/// campaign coordinator opens a task's span at launch and closes it at
+/// reap, across loop iterations). span_begin returns 0 when the span is
+/// disabled; span_end is then a no-op.
+[[nodiscard]] inline std::uint64_t span_begin(Tracer& tracer, SpanId id) {
+  return tracer.is_enabled(id) ? monotonic_ns() : 0;
+}
+
+inline void span_end(Tracer& tracer, SpanId id, std::uint64_t ident,
+                     std::uint64_t begin_ns) {
+  if (begin_ns == 0 || !tracer.is_enabled(id)) return;
+  tracer.emit(id, ident, begin_ns, monotonic_ns() - begin_ns);
+}
+
+}  // namespace varbench::trace

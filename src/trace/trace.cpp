@@ -1,0 +1,208 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace varbench::trace {
+
+std::string_view kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kSpan:
+      return "span";
+    case SpanKind::kInstant:
+      return "instant";
+  }
+  return "span";
+}
+
+const std::array<SpanDef, kNumSpans>& span_defs() {
+  static const std::array<SpanDef, kNumSpans> defs = {
+#define VARBENCH_SPAN_DEF(sym, name, subsystem, kind, help) \
+  SpanDef{name, subsystem, SpanKind::kind, help},
+      VARBENCH_BUILTIN_SPANS(VARBENCH_SPAN_DEF)
+#undef VARBENCH_SPAN_DEF
+  };
+  return defs;
+}
+
+SpanId span_id(std::string_view name) {
+  const auto& defs = span_defs();
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    if (defs[i].name == name) return static_cast<SpanId>(i);
+  }
+  throw std::invalid_argument{"trace: unknown span name '" +
+                              std::string{name} + "'"};
+}
+
+Tracer::Tracer() : enabled_(static_cast<std::size_t>(kNumSpans), 0) {}
+
+Tracer::~Tracer() {
+  for (auto& slot : buffers_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+void Tracer::enable(SpanId id) {
+  if (id >= enabled_.size()) {
+    throw std::invalid_argument{"trace: enable() span id out of range"};
+  }
+  if (enabled_[id] == 0) {
+    enabled_[id] = 1;
+    ++num_enabled_;
+  }
+}
+
+void Tracer::disable(SpanId id) {
+  if (id < enabled_.size() && enabled_[id] != 0) {
+    enabled_[id] = 0;
+    --num_enabled_;
+  }
+}
+
+void Tracer::enable_all() {
+  for (SpanId id = 0; id < enabled_.size(); ++id) enable(id);
+}
+
+void Tracer::disable_all() {
+  std::fill(enabled_.begin(), enabled_.end(), std::uint8_t{0});
+  num_enabled_ = 0;
+}
+
+namespace {
+
+/// Stable per-thread buffer slot: threads round-robin onto slots in the
+/// order they first record (same scheme as metrics::Sink shards). The slot
+/// doubles as the event's `tid` ordinal — presentation only.
+std::size_t this_thread_slot(std::size_t num_slots) {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot % num_slots;
+}
+
+}  // namespace
+
+std::pair<Tracer::Buffer&, std::size_t> Tracer::buffer_for_this_thread() {
+  const std::size_t index = this_thread_slot(kBufferSlots);
+  std::atomic<Buffer*>& slot = buffers_[index];
+  Buffer* existing = slot.load(std::memory_order_acquire);
+  if (existing != nullptr) return {*existing, index};
+  auto fresh = std::make_unique<Buffer>();
+  Buffer* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh.get(),
+                                   std::memory_order_acq_rel)) {
+    return {*fresh.release(), index};
+  }
+  return {*expected, index};  // another thread on this slot won the race
+}
+
+void Tracer::record(SpanId id, std::uint64_t ident, std::uint64_t start_ns,
+                    std::uint64_t dur_ns) {
+  auto [buffer, slot] = buffer_for_this_thread();
+  const std::lock_guard<std::mutex> lock{buffer.mu};
+  if (buffer.events.size() >= kMaxEventsPerBuffer) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events.push_back(SpanEvent{id, ident, slot, start_ns, dur_ns});
+}
+
+void Tracer::set_label(std::uint64_t ident, std::string label) {
+  const std::lock_guard<std::mutex> lock{labels_mu_};
+  for (auto& [known, text] : labels_) {
+    if (known == ident) {
+      text = std::move(label);
+      return;
+    }
+  }
+  labels_.emplace_back(ident, std::move(label));
+}
+
+std::vector<SpanEvent> Tracer::take_events() {
+  std::vector<SpanEvent> out;
+  for (auto& slot : buffers_) {
+    Buffer* buffer = slot.load(std::memory_order_acquire);
+    if (buffer == nullptr) continue;
+    const std::lock_guard<std::mutex> lock{buffer->mu};
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    buffer->events.clear();
+  }
+  // Deterministic order for a given multiset of events, independent of
+  // which slot each thread landed on.
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.span != b.span) return a.span < b.span;
+              if (a.ident != b.ident) return a.ident < b.ident;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.dur_ns < b.dur_ns;
+            });
+  sequence_.store(0, std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> Tracer::take_labels() {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  {
+    const std::lock_guard<std::mutex> lock{labels_mu_};
+    out.swap(labels_);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void Tracer::reset() {
+  (void)take_events();
+  (void)take_labels();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t Tracer::allocated_buffers() const {
+  std::size_t n = 0;
+  for (const auto& slot : buffers_) {
+    if (slot.load(std::memory_order_acquire) != nullptr) ++n;
+  }
+  return n;
+}
+
+Tracer& global_tracer() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void enable_selection(Tracer& tracer, std::string_view selection) {
+  std::size_t pos = 0;
+  while (pos <= selection.size()) {
+    std::size_t comma = selection.find(',', pos);
+    if (comma == std::string_view::npos) comma = selection.size();
+    std::string_view token = selection.substr(pos, comma - pos);
+    pos = comma + 1;
+    while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
+    while (!token.empty() && token.back() == ' ') token.remove_suffix(1);
+    if (token.empty()) continue;
+    if (token == "all") {
+      tracer.enable_all();
+      continue;
+    }
+    if (token == "none") {
+      tracer.disable_all();
+      continue;
+    }
+    const auto& defs = span_defs();
+    bool matched = false;
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+      if (defs[i].name == token || defs[i].subsystem == token) {
+        tracer.enable(static_cast<SpanId>(i));
+        matched = true;
+      }
+    }
+    if (!matched) {
+      throw std::invalid_argument{
+          "trace: selection '" + std::string{token} +
+          "' matches no span name or subsystem (docs/tracing.md lists them)"};
+    }
+  }
+}
+
+}  // namespace varbench::trace

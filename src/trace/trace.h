@@ -1,0 +1,219 @@
+// Zero-overhead span tracing (ROADMAP item 3 follow-up, docs/tracing.md) —
+// the timeline-shaped sibling of the metrics layer (src/metrics/).
+//
+// Design contract, in the metrics mold:
+//   - Spans are registered at compile time in VARBENCH_BUILTIN_SPANS; a
+//     span's id is its index in that list (append-only, so ids are small,
+//     dense, and stable across builds).
+//   - `Tracer::is_enabled(id)` is an inlined lookup into a flat byte
+//     vector: a disabled span costs ~one predictable branch, no locks, no
+//     clock reads, no allocation. Clock reads live exclusively in
+//     src/trace/stopwatch.h (varlint whitelists that one file), behind the
+//     enabled check.
+//   - Recording appends POD SpanEvents to per-thread-slot buffers; buffers
+//     are allocated on first use, so a tracer that never records allocates
+//     nothing (pinned by tests/test_trace.cpp).
+//   - Every event carries an *identity-derived* ident (a task-id hash, a
+//     region sequence number, a chunk index) — never a pointer, tid, or
+//     clock value — so the same campaign traced at any worker or thread
+//     split yields the same (span, ident) multiset once timestamps are
+//     normalized away. Traces are provenance, never identity: nothing a
+//     tracer records may flow into canonical_text() bytes
+//     (docs/determinism.md).
+//
+// This header is io-free and exec-free so that ExecContext can include it;
+// serialization lives in src/trace/file.h and stitching/export in
+// src/trace/stitch.h.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace varbench::trace {
+
+using SpanId = std::uint32_t;
+
+enum class SpanKind : std::uint8_t {
+  kSpan,     // a duration: start + dur (Chrome "ph":"X")
+  kInstant,  // a point event: start only, dur = 0 (Chrome "ph":"i")
+};
+
+[[nodiscard]] std::string_view kind_name(SpanKind kind);
+
+struct SpanDef {
+  std::string_view name;       // "exec.chunk" — "<subsystem>.<span>"
+  std::string_view subsystem;  // "exec" | "campaign" | "io" | "study"
+  SpanKind kind = SpanKind::kSpan;
+  std::string_view help;
+};
+
+// The compile-time span list. Ids are indices into this list; append only —
+// never reorder or remove — so ids stay stable across versions.
+// X(symbol, name, subsystem, kind, help)
+#define VARBENCH_BUILTIN_SPANS(X)                                             \
+  X(StudyRun, "study.run", "study", kSpan,                                    \
+    "one run_study() execution; ident = hash of '<kind>:<case_study>'")       \
+  X(ExecRegion, "exec.region", "exec", kSpan,                                 \
+    "one parallel_for region; ident = per-tracer region sequence number")     \
+  X(ExecChunk, "exec.chunk", "exec", kSpan,                                   \
+    "one self-scheduled chunk; ident = (region sequence << 32) | chunk")      \
+  X(IoVbtMap, "io.vbt_map", "io", kSpan,                                      \
+    "MappedTable::open of one VBT1 artifact; ident = hash of the file name")  \
+  X(IoVbtMaterialize, "io.vbt_materialize", "io", kSpan,                      \
+    "full VBT1-to-ResultTable materialization; ident = hash of the file "     \
+    "name")                                                                   \
+  X(CampaignTaskQueued, "campaign.task_queued", "campaign", kInstant,         \
+    "task ticket entered the work queue; ident = hash of the task id")        \
+  X(CampaignTaskClaimed, "campaign.task_claimed", "campaign", kInstant,       \
+    "coordinator claimed the ticket; ident = hash of the task id")            \
+  X(CampaignTaskRunning, "campaign.task_running", "campaign", kSpan,          \
+    "worker launch to reap for one attempt; ident = hash of the task id")     \
+  X(CampaignTaskPromoted, "campaign.task_promoted", "campaign", kInstant,     \
+    "validated artifact promoted to artifacts/; ident = hash of the task "    \
+    "id")                                                                     \
+  X(CampaignTaskRetried, "campaign.task_retried", "campaign", kInstant,       \
+    "failed attempt requeued for retry; ident = hash of the task id")         \
+  X(CampaignStudyMerged, "campaign.study_merged", "campaign", kSpan,          \
+    "per-study incremental merge of all landed shards; ident = study index")
+
+enum : SpanId {
+#define VARBENCH_SPAN_ENUM(sym, name, subsystem, kind, help) k##sym,
+  VARBENCH_BUILTIN_SPANS(VARBENCH_SPAN_ENUM)
+#undef VARBENCH_SPAN_ENUM
+      kNumSpans
+};
+
+/// All registered spans, id order. The list is compile-time-only (no
+/// runtime extension): stitching must be able to name every id it reads.
+[[nodiscard]] const std::array<SpanDef, kNumSpans>& span_defs();
+
+/// Id for `name`; throws std::invalid_argument for unknown names.
+[[nodiscard]] SpanId span_id(std::string_view name);
+
+/// One recorded event. POD on purpose: the hot path copies 40 bytes into a
+/// per-thread buffer and nothing else. `thread` is the recording thread's
+/// buffer-slot ordinal — presentation only (Chrome "tid"), never identity.
+struct SpanEvent {
+  SpanId span = 0;
+  std::uint64_t ident = 0;     // identity-derived (see the span's help text)
+  std::uint64_t tid = 0;       // buffer slot of the recording thread
+  std::uint64_t start_ns = 0;  // monotonic, process-local
+  std::uint64_t dur_ns = 0;    // 0 for kInstant events
+
+  friend bool operator==(const SpanEvent&, const SpanEvent&) = default;
+};
+
+/// A span tracer: the object instrumented code records into. Default state
+/// is all-disabled, in which every record call is a branch on a byte load.
+///
+/// Thread model: emit/next_sequence/set_label are safe from any thread;
+/// enable/disable/take/reset are coordinator-side operations and must not
+/// race with recorders.
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Hot-path gate. Inlined: bounds check + byte load.
+  [[nodiscard]] bool is_enabled(SpanId id) const {
+    return id < enabled_.size() && enabled_[id] != 0;
+  }
+
+  [[nodiscard]] bool any_enabled() const { return num_enabled_ > 0; }
+
+  void enable(SpanId id);
+  void disable(SpanId id);
+  void enable_all();
+  void disable_all();
+
+  /// Append one event (timestamps already taken by the caller — see
+  /// src/trace/stopwatch.h, the only clock site). No-op when the span is
+  /// disabled; `tid` is filled in from the recording thread's slot.
+  /// Buffers are bounded (kMaxEventsPerBuffer); overflow increments
+  /// dropped() instead of growing without limit.
+  void emit(SpanId id, std::uint64_t ident, std::uint64_t start_ns,
+            std::uint64_t dur_ns) {
+    if (!is_enabled(id)) return;
+    record(id, ident, start_ns, dur_ns);
+  }
+
+  /// Next value of the tracer-wide sequence counter — the identity source
+  /// for ordered-by-construction idents (exec region numbers). Reset by
+  /// take_events()/reset(), so every flushed trace numbers from 0.
+  [[nodiscard]] std::uint64_t next_sequence() {
+    return sequence_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Attach a human-readable label to an ident (e.g. the task id behind
+  /// its hash) for the exported trace. Cold path; last writer wins.
+  void set_label(std::uint64_t ident, std::string label);
+
+  /// Drain every buffer into one deterministic-ordered vector (sorted by
+  /// (start_ns, span, ident, tid, dur_ns)) and reset the sequence
+  /// counter — the flush-to-file primitive.
+  [[nodiscard]] std::vector<SpanEvent> take_events();
+
+  /// Drain the ident → label table, sorted by ident.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::string>>
+  take_labels();
+
+  /// Discard all buffered events and labels (enabled set is kept).
+  void reset();
+
+  /// Events discarded because a buffer hit kMaxEventsPerBuffer.
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Buffers allocated so far — 0 until the first enabled-span emit from
+  /// some thread slot. Exposed so tests can pin the disabled path's
+  /// zero-allocation guarantee.
+  [[nodiscard]] std::size_t allocated_buffers() const;
+
+  /// Backstop against runaway span volume per thread slot (~40 MB/slot).
+  static constexpr std::size_t kMaxEventsPerBuffer = std::size_t{1} << 20;
+
+ private:
+  // Threads hash onto kBufferSlots slots; two threads sharing a slot is
+  // correct (the slot mutex serializes appends), just contended.
+  static constexpr std::size_t kBufferSlots = 16;
+
+  struct Buffer {
+    std::mutex mu;
+    std::vector<SpanEvent> events;
+  };
+
+  void record(SpanId id, std::uint64_t ident, std::uint64_t start_ns,
+              std::uint64_t dur_ns);
+  [[nodiscard]] std::pair<Buffer&, std::size_t> buffer_for_this_thread();
+
+  std::vector<std::uint8_t> enabled_;
+  std::size_t num_enabled_ = 0;
+  std::atomic<std::uint64_t> sequence_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::array<std::atomic<Buffer*>, kBufferSlots> buffers_{};
+  std::mutex labels_mu_;
+  std::vector<std::pair<std::uint64_t, std::string>> labels_;
+};
+
+/// The process-wide default tracer (all spans disabled until a CLI flag or
+/// test enables them). ExecContext falls back to it when no explicit
+/// tracer is attached; `varbench run --trace-out` flushes it.
+[[nodiscard]] Tracer& global_tracer();
+
+/// Enable a comma-separated selection on `tracer`: "all", "none", a
+/// subsystem ("exec"), or a full span name ("campaign.task_running").
+/// Throws std::invalid_argument for selectors matching nothing.
+void enable_selection(Tracer& tracer, std::string_view selection);
+
+}  // namespace varbench::trace

@@ -16,12 +16,14 @@
 
 #include "src/exec/exec_context.h"
 #include "src/exec/parallel_for.h"
+#include "src/io/json.h"
 #include "src/metrics/metrics.h"
 #include "src/metrics/stopwatch.h"
 #include "src/metrics/table.h"
 #include "src/metrics/trajectory.h"
 #include "src/report/render.h"
 #include "src/report/summary.h"
+#include "src/rngx/rng.h"
 #include "src/study/result_table.h"
 #include "src/study/study_runner.h"
 #include "src/study/study_spec.h"
@@ -368,6 +370,80 @@ TEST(MetricsTrajectory, GateFlagsOnlyRealRegressions) {
   const auto novel = gate_checks(prior, {fresh_bench});
   EXPECT_EQ(novel.at(0).best_ns, 0u);
   EXPECT_FALSE(novel.at(0).regressed);
+}
+
+TEST(MetricsTrajectory, EmptyHistoryFileIsAFirstRunNotACrash) {
+  // A trajectory file that exists but is empty (interrupted first write,
+  // `touch`ed by CI cache priming) must behave exactly like a missing one:
+  // load empty, gate nothing, accept a fresh baseline.
+  const fs::path dir = temp_dir("varbench-test-metrics-traj-empty");
+  const std::string path = (dir / "BENCH_empty.json").string();
+
+  io::write_file(path, "");
+  EXPECT_TRUE(Trajectory::load(path).rows().empty());
+  io::write_file(path, " \t\n\n");
+  Trajectory t = Trajectory::load(path);
+  EXPECT_TRUE(t.rows().empty());
+
+  TrajectoryRow row;
+  row.bench = "exec.parallel_for";
+  row.unit = "ns";
+  row.min_ns = 100'000;
+  row.repeats = 3;
+  const auto checks = gate_checks(t, {row});
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_FALSE(checks.at(0).regressed);  // no history → recorded, not gated
+  EXPECT_EQ(checks.at(0).best_ns, 0u);
+
+  // First run records the baseline; the next load sees it.
+  t.append(row);
+  t.save(path);
+  const Trajectory back = Trajectory::load(path);
+  ASSERT_EQ(back.rows().size(), 1u);
+  EXPECT_EQ(back.best_ns("exec.parallel_for"), 100'000u);
+  fs::remove_all(dir);
+}
+
+// -------------------------------------------------------- rngx counters
+
+TEST(MetricsRngx, StreamCountersAreThreadCountInvariant) {
+  // rngx.streams_derived / rngx.draws count a multiset fixed by the
+  // determinism contract — per-repetition streams keyed by identity, not
+  // by scheduling — so the totals cannot vary with the thread count.
+  constexpr std::size_t kReps = 64;
+  constexpr int kDrawsPerRep = 5;
+  const auto totals = [](std::size_t threads) {
+    Sink& sink = global_sink();
+    sink.disable_all();
+    sink.reset();
+    sink.enable(kRngxStreamsDerived);
+    sink.enable(kRngxDraws);
+    exec::ExecContext ctx{threads};
+    std::vector<double> acc(kReps, 0.0);
+    exec::parallel_for(ctx, 0, kReps, [&](std::size_t i) {
+      rngx::Rng rng{rngx::derive_seed(20260809, "rep") + i};
+      for (int d = 0; d < kDrawsPerRep; ++d) acc[i] += rng.uniform();
+    });
+    const Snapshot snap = sink.snapshot();
+    const MetricSnapshot* derived = snap.find(kRngxStreamsDerived);
+    const MetricSnapshot* draws = snap.find(kRngxDraws);
+    sink.disable_all();
+    sink.reset();
+    EXPECT_NE(derived, nullptr);
+    EXPECT_NE(draws, nullptr);
+    const std::uint64_t derived_sum = derived != nullptr ? derived->sum : 0;
+    const std::uint64_t draw_sum = draws != nullptr ? draws->sum : 0;
+    EXPECT_GT(acc[kReps - 1], 0.0);  // the work actually ran
+    return std::pair<std::uint64_t, std::uint64_t>{derived_sum, draw_sum};
+  };
+
+  const auto at1 = totals(1);
+  const auto at4 = totals(4);
+  const auto at8 = totals(8);
+  EXPECT_EQ(at1.first, kReps);  // one reseed per repetition stream
+  EXPECT_GE(at1.second, static_cast<std::uint64_t>(kReps) * kDrawsPerRep);
+  EXPECT_EQ(at1, at4);
+  EXPECT_EQ(at1, at8);
 }
 
 }  // namespace

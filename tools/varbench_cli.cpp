@@ -44,10 +44,12 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_spec.h"
 #include "src/campaign/campaign.h"
+#include "src/campaign/status.h"
 #include "src/campaign/subprocess.h"
 #include "src/io/json.h"
 #include "src/metrics/gate.h"
@@ -60,6 +62,9 @@
 #include "src/study/result_table.h"
 #include "src/study/study_runner.h"
 #include "src/study/study_spec.h"
+#include "src/trace/file.h"
+#include "src/trace/stitch.h"
+#include "src/trace/trace.h"
 #include "src/varbench.h"
 #include "src/version.h"
 
@@ -97,9 +102,9 @@ struct Args {
 
 /// Flags that never consume the following token as a value.
 const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> flags{"canonical", "gate",      "help",
-                                           "json",      "list",      "no-append",
-                                           "plan-only", "resume"};
+  static const std::set<std::string> flags{
+      "canonical", "gate",   "help",  "json",    "list", "no-append",
+      "plan-only", "resume", "summary", "trace", "watch"};
   return flags;
 }
 
@@ -270,14 +275,14 @@ int emit_introspection(const io::Json& doc) {
 
 int cmd_run(const Args& a) {
   require_known_flags(a, {"set", "shard", "threads", "out", "csv", "canonical",
-                          "format", "metrics", "metrics-out"});
+                          "format", "metrics", "metrics-out", "trace-out"});
   if (a.positional.empty()) {
     std::fprintf(stderr,
                  "usage: varbench run <spec.json> [--set key=val ...] "
                  "[--shard i/N] [--threads N] [--out out.json] "
                  "[--csv out.csv] [--canonical] [--format auto|json|binary] "
                  "[--metrics all|<subsystem>|<name>,... "
-                 "[--metrics-out metrics.json]]\n");
+                 "[--metrics-out metrics.json]] [--trace-out t.trace.json]\n");
     return 2;
   }
   io::Json doc = io::Json::parse(io::read_file(a.positional[0]));
@@ -300,7 +305,29 @@ int cmd_run(const Args& a) {
   if (selection != nullptr) {
     metrics::enable_selection(metrics::global_sink(), *selection);
   }
+  // Traces are the same bargain: spans describe where the time went, never
+  // what the result is, so --trace-out cannot change the artifact bytes
+  // either (docs/tracing.md). Campaign workers get this flag injected by
+  // subprocess_launcher so every worker leaves a per-worker trace behind.
+  const std::string* trace_out = a.find("trace-out");
+  if (trace_out != nullptr) {
+    trace::global_tracer().enable_all();
+  }
   const int rc = finish_study(study::run_study(spec), a);
+  if (trace_out != nullptr) {
+    std::string process = std::filesystem::path{*trace_out}.filename().string();
+    constexpr std::string_view kSuffix = ".trace.json";
+    if (process.size() > kSuffix.size() &&
+        process.compare(process.size() - kSuffix.size(), kSuffix.size(),
+                        kSuffix) == 0) {
+      process.resize(process.size() - kSuffix.size());
+    }
+    const trace::TraceFile file =
+        trace::drain(trace::global_tracer(), std::move(process));
+    trace::write_trace_file(*trace_out, file);
+    std::fprintf(stderr, "trace: %zu span(s) -> %s\n", file.spans.size(),
+                 trace_out->c_str());
+  }
   if (selection != nullptr) {
     const study::ResultTable mtable = metrics::to_result_table(
         metrics::global_sink().snapshot(), "metrics:run");
@@ -379,7 +406,7 @@ int cmd_merge(const Args& a) {
 int cmd_campaign(const Args& a) {
   require_known_flags(a, {"shards", "workers", "dir", "resume", "max-retries",
                           "stale-ms", "task-timeout-ms", "set", "threads",
-                          "plan-only", "format", "metrics"});
+                          "plan-only", "format", "metrics", "trace"});
   const std::string dir = opt_string(a, "dir", "");
   const bool plan_only = opt_flag(a, "plan-only");
   if (a.positional.empty() || (dir.empty() && !plan_only)) {
@@ -388,7 +415,7 @@ int cmd_campaign(const Args& a) {
                  "[--shards N] [--workers K] [--resume] [--max-retries R] "
                  "[--stale-ms T] [--task-timeout-ms T] [--set key=val ...] "
                  "[--threads N] [--plan-only] [--format json|binary] "
-                 "[--metrics all|<subsystem>|<name>,...]\n"
+                 "[--metrics all|<subsystem>|<name>,...] [--trace]\n"
                  "each <spec.json> is one StudySpec or a JSON array of "
                  "specs; --resume finishes the gaps of an existing state "
                  "dir; --plan-only validates every spec and prints the task "
@@ -456,10 +483,20 @@ int cmd_campaign(const Args& a) {
   cfg.resume = opt_flag(a, "resume");
   cfg.events = stderr;
   cfg.format = opt_artifact_format(a);  // kAuto behaves as kJson
+  cfg.trace = opt_flag(a, "trace");
+  if (cfg.trace) {
+    // The coordinator's own io spans (artifact loads during study merge)
+    // ride in coordinator.trace.json next to the campaign spans; workers
+    // are separate processes and trace themselves via --trace-out.
+    trace::enable_selection(trace::global_tracer(), "io");
+    cfg.tracer = &trace::global_tracer();
+    trace::enable_selection(*cfg.tracer, "campaign");
+  }
 
   const auto report = campaign::run_campaign(
       cfg, studies,
-      campaign::subprocess_launcher(campaign::current_executable(g_argv0)));
+      campaign::subprocess_launcher(campaign::current_executable(g_argv0),
+                                    cfg.trace));
 
   for (const auto& path : report.merged_outputs) {
     std::printf("merged: %s\n", path.c_str());
@@ -559,6 +596,88 @@ int cmd_report(const Args& a) {
     std::fprintf(stderr, "wrote %s\n", out->c_str());
   } else {
     std::fputs(rendered.c_str(), stdout);
+  }
+  return 0;
+}
+
+/// varbench trace <state-dir> [--chrome out.json] [--summary]: stitch the
+/// per-worker traces a `campaign --trace` run left behind into one
+/// timeline. --chrome exports Chrome trace-event JSON (load it in
+/// Perfetto / chrome://tracing); --summary (also the default when no
+/// --chrome is asked for) renders the per-span critical-path table through
+/// the report machinery (docs/tracing.md).
+int cmd_trace(const Args& a) {
+  require_known_flags(a, {"chrome", "summary", "format", "threads"});
+  if (a.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: varbench trace <state-dir> [--chrome out.json] "
+                 "[--summary] [--format text|markdown|csv|json]\n"
+                 "stitches <state-dir>/traces/*.trace.json (written by "
+                 "campaign --trace or run --trace-out) into a Chrome "
+                 "trace-event timeline and a per-span summary "
+                 "(docs/tracing.md)\n");
+    return 2;
+  }
+  const trace::StitchedTrace stitched =
+      trace::stitch_state_dir(a.positional[0]);
+  std::fprintf(stderr, "trace: %zu span(s) across %zu process(es)\n",
+               stitched.total_spans(), stitched.processes.size());
+  bool emitted = false;
+  if (const std::string* out = a.find("chrome")) {
+    io::write_file(*out, trace::chrome_trace_json(stitched).dump(2) + "\n");
+    std::fprintf(stderr, "wrote %s\n", out->c_str());
+    emitted = true;
+  }
+  if (opt_flag(a, "summary") || !emitted) {
+    // The per-span aggregate is an ordinary ResultTable, so it renders
+    // through the same report pipeline as any study artifact: group by
+    // span name, one group per instrumented region.
+    io::Json spec_doc = io::Json::object();
+    spec_doc.set("group_by", io::Json{std::string{"span"}});
+    io::Json estimators = io::Json::array();
+    estimators.push_back(io::Json{std::string{"mean"}});
+    spec_doc.set("estimators", std::move(estimators));
+    spec_doc.set("format",
+                 io::Json{opt_string(a, "format", "text")});
+    const auto spec = report::ReportSpec::from_json(spec_doc);
+    const report::LoadedArtifact artifact{a.positional[0],
+                                          trace::summary_table(stitched)};
+    const exec::ExecContext ctx{opt_size(a, "threads", 1)};
+    const auto rendered = report::render(report::summarize(ctx, artifact, spec),
+                                         report::format_from_string(spec.format));
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return 0;
+}
+
+/// varbench status <state-dir> [--json] [--watch]: live campaign state
+/// from heartbeats + claims + manifest alone — strictly read-only, safe to
+/// run beside a live coordinator (docs/campaigns.md).
+int cmd_status(const Args& a) {
+  require_known_flags(a, {"json", "watch", "interval-ms"});
+  if (a.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: varbench status <state-dir> [--json] [--watch] "
+                 "[--interval-ms T]\n"
+                 "reads the manifest, queue, and claim heartbeats of a "
+                 "(possibly running) campaign without touching them; "
+                 "--watch repolls until no task is pending\n");
+    return 2;
+  }
+  const bool watch = opt_flag(a, "watch");
+  const std::size_t interval = opt_size(a, "interval-ms", 1'000);
+  for (;;) {
+    const auto status = campaign::read_status(a.positional[0]);
+    if (a.find("json") != nullptr) {
+      io::Json doc = tool_envelope();
+      doc.set("status", campaign::status_json(status));
+      std::fputs((doc.dump(2) + "\n").c_str(), stdout);
+    } else {
+      std::fputs(campaign::render_status_text(status).c_str(), stdout);
+    }
+    std::fflush(stdout);
+    if (!watch || status.pending == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds{interval});
   }
   return 0;
 }
@@ -752,7 +871,13 @@ void usage() {
       "          (lossless both ways, docs/artifacts.md)\n"
       "  campaign <spec.json> --dir <state-dir> [--shards N] [--workers K]\n"
       "          [--resume] [--max-retries R] [--plan-only]\n"
-      "          [--format json|binary] (docs/campaigns.md)\n"
+      "          [--format json|binary] [--trace] (docs/campaigns.md)\n"
+      "  trace   <state-dir> [--chrome out.json] [--summary]\n"
+      "          stitch per-worker traces into a Chrome trace-event\n"
+      "          timeline + per-span summary (docs/tracing.md)\n"
+      "  status  <state-dir> [--json] [--watch]\n"
+      "          live worker/task state from heartbeats alone, read-only\n"
+      "          (docs/campaigns.md)\n"
       "  list    [--json]  registered study kinds (incl. every paper\n"
       "          figure/table); --json emits the machine-readable registry\n"
       "  metrics --list [--json]  the metric registry: stable ids, names,\n"
@@ -801,6 +926,8 @@ int main(int argc, char** argv) {
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "report") return cmd_report(args);
+    if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "status") return cmd_status(args);
     if (cmd == "list") return cmd_list(args);
     if (cmd == "metrics") return cmd_metrics(args);
     if (cmd == "bench") return cmd_bench(args);
