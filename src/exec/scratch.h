@@ -1,0 +1,82 @@
+// Per-thread reusable scratch buffers for allocation-free hot loops.
+//
+// The resampling kernels (src/stats/resample_kernels.h) draw index blocks
+// and gather samples thousands of times per confidence interval; giving
+// each replicate a fresh std::vector would put an allocator round-trip on
+// the hot path. A ScratchBuffer instead leases storage from a thread-local
+// free list: the first lease of a given magnitude on a thread allocates,
+// every later lease reuses that capacity — zero allocation in steady
+// state. Leases nest (RAII), so re-entrant users (a bootstrap statistic
+// that itself bootstraps) simply hold two buffers from the pool instead of
+// clobbering each other.
+//
+// Thread model: the pool is thread_local, so leases are private to the
+// leasing thread — exactly right for parallel_for bodies, which never
+// migrate mid-call. Buffers returned on one thread stay on that thread.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace varbench::exec {
+
+namespace detail {
+
+template <typename T>
+struct ScratchPool {
+  std::vector<std::vector<T>> free_list;
+  std::size_t allocations = 0;  // leases served without a pooled buffer
+
+  static ScratchPool& local() {
+    thread_local ScratchPool pool;
+    return pool;
+  }
+};
+
+}  // namespace detail
+
+/// RAII lease of `n` default-initialized Ts from this thread's scratch
+/// pool. Not copyable or movable: the span must not outlive the lease.
+template <typename T>
+class ScratchBuffer {
+ public:
+  explicit ScratchBuffer(std::size_t n) {
+    auto& pool = detail::ScratchPool<T>::local();
+    if (pool.free_list.empty()) {
+      ++pool.allocations;
+    } else {
+      storage_ = std::move(pool.free_list.back());
+      pool.free_list.pop_back();
+    }
+    storage_.resize(n);
+  }
+
+  ~ScratchBuffer() {
+    auto& pool = detail::ScratchPool<T>::local();
+    pool.free_list.push_back(std::move(storage_));
+  }
+
+  ScratchBuffer(const ScratchBuffer&) = delete;
+  ScratchBuffer& operator=(const ScratchBuffer&) = delete;
+
+  [[nodiscard]] std::span<T> span() { return storage_; }
+  [[nodiscard]] std::span<const T> span() const { return storage_; }
+  [[nodiscard]] T* data() { return storage_.data(); }
+  [[nodiscard]] std::size_t size() const { return storage_.size(); }
+
+ private:
+  std::vector<T> storage_;
+};
+
+/// Times this thread's pool for T served a lease by allocating instead of
+/// reusing — a test hook pinning the zero-allocation steady state; capacity
+/// growth inside a reused vector is not counted (it only happens when a
+/// larger lease arrives, after which that capacity is sticky too).
+template <typename T>
+[[nodiscard]] inline std::size_t scratch_allocations() {
+  return detail::ScratchPool<T>::local().allocations;
+}
+
+}  // namespace varbench::exec

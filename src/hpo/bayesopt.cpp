@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
+#include "src/exec/parallel_for.h"
 #include "src/stats/distributions.h"
 
 namespace varbench::hpo {
@@ -22,7 +24,6 @@ HpoResult BayesianOptimization::optimize(const exec::ExecContext& ctx,
                                          const Objective& objective,
                                          std::size_t budget,
                                          rngx::Rng& rng) const {
-  (void)ctx;  // sequential by nature; see header
   if (space.empty() || budget == 0) {
     throw std::invalid_argument("BayesianOptimization: bad inputs");
   }
@@ -54,21 +55,39 @@ HpoResult BayesianOptimization::optimize(const exec::ExecContext& ctx,
     GaussianProcess gp{config_.gp};
     gp.fit(x, y);
 
-    // Maximize EI over a random candidate pool.
+    // Maximize EI over a random candidate pool, q-EI style: all candidate
+    // coordinates come off the serial trial stream first (candidate-major,
+    // dimension-minor — the exact draw order of the old one-at-a-time
+    // loop), then the GP posterior and EI for every candidate are scored
+    // with parallel_for. The argmax stays a serial first-wins scan over
+    // the same EI values in the same order, so the chosen candidate — and
+    // therefore the whole trial trajectory — is bit-identical at any
+    // --threads (docs/determinism.md).
+    const std::size_t pool = config_.candidate_pool;
+    if (pool == 0) {
+      record(space.from_unit(std::vector<double>(d, 0.5)));
+      continue;
+    }
+    std::vector<double> cand(pool * d, 0.0);
+    for (double& v : cand) v = rng.uniform();
+    std::vector<double> ei(pool, 0.0);
+    exec::parallel_for(ctx, 0, pool, [&](std::size_t c) {
+      const auto pred =
+          gp.predict(std::span<const double>{cand.data() + c * d, d});
+      ei[c] = expected_improvement(pred.mean, pred.variance,
+                                   result.best_objective,
+                                   config_.exploration);
+    });
     double best_ei = -1.0;
-    std::vector<double> best_u(d, 0.5);
-    std::vector<double> u(d, 0.0);
-    for (std::size_t c = 0; c < config_.candidate_pool; ++c) {
-      for (double& v : u) v = rng.uniform();
-      const auto pred = gp.predict(u);
-      const double ei = expected_improvement(pred.mean, pred.variance,
-                                             result.best_objective,
-                                             config_.exploration);
-      if (ei > best_ei) {
-        best_ei = ei;
-        best_u = u;
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < pool; ++c) {
+      if (ei[c] > best_ei) {
+        best_ei = ei[c];
+        best_c = c;
       }
     }
+    const std::vector<double> best_u{cand.begin() + best_c * d,
+                                     cand.begin() + (best_c + 1) * d};
     record(space.from_unit(best_u));
   }
   return result;

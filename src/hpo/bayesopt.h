@@ -21,8 +21,13 @@ class BayesianOptimization final : public HpoAlgorithm {
       : config_{config} {}
 
   using HpoAlgorithm::optimize;
-  // Inherently sequential (each trial conditions on the previous posterior):
-  // `ctx` is ignored and the run is serial.
+  // The trial loop is inherently sequential (each trial conditions on the
+  // previous posterior), but the per-trial acquisition is batched q-EI
+  // style: candidate coordinates are drawn serially from `rng`, then the
+  // GP posterior + EI for the whole pool is scored under `ctx` with
+  // parallel_for and the argmax taken serially — so --threads accelerates
+  // the candidate scan while the trial trajectory stays bit-identical to
+  // the serial run (ROADMAP item 4).
   [[nodiscard]] HpoResult optimize(const exec::ExecContext& ctx,
                                    const SearchSpace& space,
                                    const Objective& objective,

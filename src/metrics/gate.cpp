@@ -82,16 +82,22 @@ int run_bench_gate(const GateOptions& opts, std::FILE* out) {
 
   bool regressed = false;
   try {
+    if (opts.append) fs::create_directories(opts.bench_dir);
     const std::vector<MicrobenchResult> exec_results =
         run_exec_microbenches(mopts);
     const std::vector<MicrobenchResult> campaign_results =
         run_campaign_microbenches(mopts, scratch);
+    const std::vector<MicrobenchResult> stats_results =
+        run_stats_microbenches(mopts);
     regressed |= process_file(
         (fs::path{opts.bench_dir} / "BENCH_exec.json").string(), exec_results,
         opts, out);
     regressed |= process_file(
         (fs::path{opts.bench_dir} / "BENCH_campaign.json").string(),
         campaign_results, opts, out);
+    regressed |= process_file(
+        (fs::path{opts.bench_dir} / "BENCH_stats.json").string(),
+        stats_results, opts, out);
     std::fprintf(out, "exec metrics overhead: %+.2f%% (budget: <= 1%% with "
                       "metrics disabled; the pair above is metrics on vs off)\n",
                  exec_metrics_overhead_percent(exec_results));

@@ -2,8 +2,9 @@
 // run the instrumented microbench suites, print a markdown trajectory
 // table (terminal-readable, and exactly what CI pipes into its step
 // summary), append min-of-N rows to bench/BENCH_exec.json /
-// bench/BENCH_campaign.json, and — in gate mode — fail on regressions
-// beyond the noise band (src/metrics/trajectory.h).
+// bench/BENCH_campaign.json / bench/BENCH_stats.json, and — in gate
+// mode — fail on regressions beyond the noise band
+// (src/metrics/trajectory.h).
 #pragma once
 
 #include <cstdio>
@@ -12,7 +13,7 @@
 namespace varbench::metrics {
 
 struct GateOptions {
-  std::string bench_dir = "bench";  // holds BENCH_exec.json / BENCH_campaign.json
+  std::string bench_dir = "bench";  // holds the BENCH_*.json trajectories
   double threshold = 1.5;           // regression band vs historical best
   std::size_t repeats = 5;          // min-of-N
   double scale = 1.0;

@@ -89,7 +89,12 @@ struct MetricDef {
     "Rng streams created — constructions, reseeds, and tag splits")          \
   X(RngxDraws, "rngx.draws", "rngx", "count", kCounter,                      \
     "raw 64-bit draws from the xoshiro core (every distribution bottoms "    \
-    "out here)")
+    "out here)")                                                             \
+  X(StatsResamples, "stats.resamples", "stats", "count", kCounter,           \
+    "bootstrap resamples and permutation replicates evaluated by the "       \
+    "fused resampling kernels")                                              \
+  X(IoStreamChunks, "io.stream_chunks", "io", "count", kCounter,             \
+    "row-group chunks flushed by the streaming VBT writer")
 
 enum : MetricId {
 #define VARBENCH_METRIC_ENUM(sym, name, subsystem, unit, kind, help) k##sym,

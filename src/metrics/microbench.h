@@ -38,6 +38,18 @@ struct MicrobenchResult {
 [[nodiscard]] std::vector<MicrobenchResult> run_campaign_microbenches(
     const MicrobenchOptions& opts, const std::string& scratch_dir);
 
+/// stats.bca_ci_mean_kernel (fused index-kernel BCa,
+/// stats::ResampleStat::kMean) vs stats.bca_ci_mean_legacy (the
+/// pre-kernel path re-enacted: one materialized resample vector per
+/// replicate plus one materialized leave-one-out vector per jackknife
+/// index) over the same column, resample count, and thread fan-out — the
+/// pair is the speedup record of the resampling-kernel rewrite
+/// (src/stats/resample_kernels.h). Both paths draw identical RNG streams,
+/// so they compute bit-identical intervals; only the memory traffic
+/// differs.
+[[nodiscard]] std::vector<MicrobenchResult> run_stats_microbenches(
+    const MicrobenchOptions& opts);
+
 /// Percent overhead of enabled exec metrics on the parallel_for workload:
 /// 100 * (t_on - t_off) / t_off, computed from fresh min-of-N runs. The
 /// acceptance budget is <= 1% with metrics DISABLED being the comparison

@@ -175,16 +175,16 @@ ColumnSummary summarize_values(const exec::ExecContext& ctx,
   s.median = stats::median(values);
   if (has_estimator(spec, "ci") && values.size() >= 3) {
     rngx::Rng rng = stream_for(master, "ci", s.group, s.column);
-    const auto mean_stat = [](std::span<const double> x) {
-      return stats::mean(x);
-    };
     const double alpha = 1.0 - spec.confidence;
-    s.ci_mean = spec.ci_method == "bca"
-                    ? stats::bca_bootstrap_ci(ctx, values, mean_stat, rng,
-                                              spec.resamples, alpha)
-                    : stats::percentile_bootstrap_ci(ctx, values, mean_stat,
-                                                     rng, spec.resamples,
-                                                     alpha);
+    // Fused mean kernels (src/stats/resample_kernels.h): bit-identical to
+    // the historical std::function-of-mean path — golden renders pin this.
+    s.ci_mean =
+        spec.ci_method == "bca"
+            ? stats::bca_bootstrap_ci(ctx, values, stats::ResampleStat::kMean,
+                                      rng, spec.resamples, alpha)
+            : stats::percentile_bootstrap_ci(ctx, values,
+                                             stats::ResampleStat::kMean, rng,
+                                             spec.resamples, alpha);
   }
   if (has_estimator(spec, "normality") && values.size() >= 3 &&
       values.size() <= 5000) {

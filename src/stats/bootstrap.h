@@ -20,7 +20,27 @@ struct ConfidenceInterval {
                          const ConfidenceInterval&) = default;
 };
 
+/// Fused single-sample statistics the CI machinery evaluates without
+/// materializing resamples (src/stats/resample_kernels.h). Prefer these
+/// overloads over the std::function ones on hot paths: same bits, no
+/// per-resample allocation, no indirect call in the inner loop.
+enum class ResampleStat {
+  kMean,
+};
+
+/// Fused paired-sample statistics, same contract as ResampleStat.
+enum class PairedResampleStat {
+  kWinRate,  // P(A>B) with ties counted half (probability_of_outperforming)
+};
+
 /// One bootstrap resample (with replacement, same size) of `x`.
+///
+/// Deprecated for hot paths: this overload returns a fresh vector per
+/// call, which is exactly the allocation the index-kernel path
+/// (kernels::fill_bootstrap_indices + fused gathers, or the ResampleStat
+/// overloads below) exists to avoid. It now delegates to those kernels —
+/// same draws, same values — and remains for callers that genuinely need
+/// the materialized resample.
 [[nodiscard]] std::vector<double> bootstrap_resample(std::span<const double> x,
                                                      rngx::Rng& rng);
 
@@ -38,6 +58,13 @@ struct ConfidenceInterval {
 [[nodiscard]] ConfidenceInterval percentile_bootstrap_ci(
     std::span<const double> x,
     const std::function<double(std::span<const double>)>& statistic,
+    rngx::Rng& rng, std::size_t num_resamples = 1000, double alpha = 0.05);
+
+/// Fused-kernel percentile CI: bit-identical to the std::function overload
+/// evaluating the equivalent statistic, with the resampling loop running
+/// allocation-free on the index kernels.
+[[nodiscard]] ConfidenceInterval percentile_bootstrap_ci(
+    const exec::ExecContext& ctx, std::span<const double> x, ResampleStat stat,
     rngx::Rng& rng, std::size_t num_resamples = 1000, double alpha = 0.05);
 
 /// Bias-corrected and accelerated (BCa) bootstrap CI (Efron 1987) of an
@@ -60,6 +87,14 @@ struct ConfidenceInterval {
     const std::function<double(std::span<const double>)>& statistic,
     rngx::Rng& rng, std::size_t num_resamples = 1000, double alpha = 0.05);
 
+/// Fused-kernel BCa CI: same resamples and stream consumption as the
+/// std::function overload; the jackknife runs through
+/// kernels::jackknife_mean_loo (bit-identical below
+/// kernels::kJackknifeLinearThreshold, linear-time above it).
+[[nodiscard]] ConfidenceInterval bca_bootstrap_ci(
+    const exec::ExecContext& ctx, std::span<const double> x, ResampleStat stat,
+    rngx::Rng& rng, std::size_t num_resamples = 1000, double alpha = 0.05);
+
 /// Percentile-bootstrap CI of a statistic of *paired* samples (a_i, b_i):
 /// pairs are resampled together, preserving the pairing (Appendix C.5).
 /// Same determinism contract as percentile_bootstrap_ci.
@@ -74,5 +109,13 @@ struct ConfidenceInterval {
     const std::function<double(std::span<const double>,
                                std::span<const double>)>& statistic,
     rngx::Rng& rng, std::size_t num_resamples = 1000, double alpha = 0.05);
+
+/// Fused-kernel paired percentile CI (tag "paired_bootstrap"): bit-
+/// identical to the std::function overload evaluating the equivalent
+/// paired statistic, allocation-free in steady state.
+[[nodiscard]] ConfidenceInterval paired_percentile_bootstrap_ci(
+    const exec::ExecContext& ctx, std::span<const double> a,
+    std::span<const double> b, PairedResampleStat stat, rngx::Rng& rng,
+    std::size_t num_resamples = 1000, double alpha = 0.05);
 
 }  // namespace varbench::stats

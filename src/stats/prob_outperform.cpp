@@ -39,12 +39,11 @@ ProbOutperformResult test_probability_of_outperforming(
   ProbOutperformResult result;
   result.gamma = gamma;
   result.p_a_greater_b = probability_of_outperforming(a, b);
+  // Fused win-rate kernel: same resample streams and bits as evaluating
+  // probability_of_outperforming on materialized resamples, no per-
+  // resample allocation (src/stats/resample_kernels.h).
   result.ci = paired_percentile_bootstrap_ci(
-      ctx, a, b,
-      [](std::span<const double> ra, std::span<const double> rb) {
-        return probability_of_outperforming(ra, rb);
-      },
-      rng, num_resamples, alpha);
+      ctx, a, b, PairedResampleStat::kWinRate, rng, num_resamples, alpha);
   if (!result.significant()) {
     result.conclusion = ComparisonConclusion::kNotSignificant;
   } else if (!result.meaningful()) {

@@ -8,8 +8,11 @@
 #include <vector>
 
 #include "src/exec/parallel_replicate.h"
+#include "src/exec/scratch.h"
+#include "src/metrics/metrics.h"
 #include "src/stats/descriptive.h"
 #include "src/stats/distributions.h"
+#include "src/stats/resample_kernels.h"
 
 namespace varbench::stats {
 
@@ -199,20 +202,17 @@ TestResult permutation_test_mean_diff(const exec::ExecContext& ctx,
   pooled.insert(pooled.end(), a.begin(), a.end());
   pooled.insert(pooled.end(), b.begin(), b.end());
   const std::size_t na = a.size();
+  metrics::Sink& sink = ctx.sink();
   const auto extreme = exec::parallel_replicate<std::uint8_t>(
       ctx, num_permutations, rng, "permutation",
       [&](std::size_t, rngx::Rng& perm_rng) -> std::uint8_t {
-        std::vector<double> shuffled = pooled;
-        perm_rng.shuffle(shuffled);
-        double sum_a = 0.0;
-        for (std::size_t i = 0; i < na; ++i) sum_a += shuffled[i];
-        double sum_b = 0.0;
-        for (std::size_t i = na; i < shuffled.size(); ++i) {
-          sum_b += shuffled[i];
-        }
-        const double diff =
-            sum_a / static_cast<double>(na) -
-            sum_b / static_cast<double>(shuffled.size() - na);
+        sink.add(metrics::kStatsResamples);
+        // Per-thread leased copy of the pool: same shuffle draws and the
+        // same two fused segment sums as ever, no per-permutation vector.
+        exec::ScratchBuffer<double> shuffled{pooled.size()};
+        std::copy(pooled.begin(), pooled.end(), shuffled.span().begin());
+        kernels::span_shuffle(shuffled.span(), perm_rng);
+        const double diff = kernels::segment_mean_diff(shuffled.span(), na);
         return std::abs(diff) >= threshold ? 1 : 0;
       });
   return {observed, add_one_p(extreme)};
@@ -244,13 +244,12 @@ TestResult paired_permutation_test(const exec::ExecContext& ctx,
   for (std::size_t i = 0; i < a.size(); ++i) d[i] = a[i] - b[i];
   const double observed = mean(d);
   const double threshold = std::abs(observed);
-  const double n = static_cast<double>(d.size());
+  metrics::Sink& sink = ctx.sink();
   const auto extreme = exec::parallel_replicate<std::uint8_t>(
       ctx, num_permutations, rng, "paired_permutation",
       [&](std::size_t, rngx::Rng& perm_rng) -> std::uint8_t {
-        double sum = 0.0;
-        for (const double di : d) sum += perm_rng.bernoulli(0.5) ? di : -di;
-        return std::abs(sum / n) >= threshold ? 1 : 0;
+        sink.add(metrics::kStatsResamples);
+        return kernels::signflip_mean_extreme(d, threshold, perm_rng) ? 1 : 0;
       });
   return {observed, add_one_p(extreme)};
 }

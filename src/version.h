@@ -8,6 +8,6 @@
 
 namespace varbench {
 
-inline constexpr std::string_view kVersion = "0.9.0";
+inline constexpr std::string_view kVersion = "0.10.0";
 
 }  // namespace varbench
